@@ -1,0 +1,383 @@
+//! Inverted-file index (FAISS-IVF / FAISS-PQ equivalent).
+//!
+//! The non-graph comparator of the paper's evaluation: a k-means coarse
+//! quantizer partitions the corpus into `nlist` posting lists; a query
+//! scans only the `nprobe` lists whose centroids are nearest. With
+//! [`IvfParams::pq`] set, list entries are PQ codes scanned via an ADC
+//! table with optional exact re-ranking — the configuration the paper
+//! benchmarks as "FAISS" (its recall ceiling at high recall and its OOD
+//! collapse both come from this compression).
+//!
+//! The harness maps [`QueryParams::beam`] to `nprobe`, so the same sweep
+//! driver produces FAISS-style recall/QPS curves.
+
+use crate::kmeans::{self, to_f32_vec, KMeans};
+use crate::pq::{PqParams, ProductQuantizer};
+use ann_data::{distance, Metric, PointSet, VectorElem};
+use parlay::{group_by_u32, tabulate};
+use parlayann::{AnnIndex, QueryParams, SearchStats};
+use rayon::prelude::*;
+
+/// Build parameters for [`IvfIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct IvfParams {
+    /// Number of posting lists (paper: 2¹⁶–2²⁰ at the billion scale;
+    /// Fig. 8 sweeps this).
+    pub nlist: usize,
+    /// k-means iterations for the coarse quantizer.
+    pub train_iters: usize,
+    /// Training sample size.
+    pub train_sample: usize,
+    /// Product quantization for list entries (`None` = IVF-Flat).
+    pub pq: Option<PqParams>,
+    /// With PQ: re-rank the top `rerank_factor × k` ADC candidates exactly.
+    /// 0 disables re-ranking.
+    pub rerank_factor: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams {
+            nlist: 256,
+            train_iters: 8,
+            train_sample: 20_000,
+            pq: None,
+            rerank_factor: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// A built IVF index (optionally PQ-compressed).
+pub struct IvfIndex<T> {
+    /// Coarse quantizer.
+    pub quantizer: KMeans,
+    /// Posting lists: member ids per list.
+    lists: Vec<Vec<u32>>,
+    /// PQ codes aligned with `lists` entries (empty when IVF-Flat).
+    codes: Vec<Vec<u8>>,
+    pq: Option<ProductQuantizer>,
+    rerank_factor: usize,
+    /// Metric used for scoring.
+    pub metric: Metric,
+    /// Build statistics.
+    pub build_stats: parlayann::BuildStats,
+    points: PointSet<T>,
+}
+
+impl<T: VectorElem> IvfIndex<T> {
+    /// Builds the index: trains the coarse quantizer, assigns every point
+    /// (parallel), groups into posting lists via semisort, optionally
+    /// trains PQ and encodes every entry.
+    pub fn build(points: PointSet<T>, metric: Metric, params: &IvfParams) -> Self {
+        let t0 = std::time::Instant::now();
+        let n = points.len();
+        assert!(n > 0);
+        let nlist = params.nlist.min(n).max(1);
+        let quantizer = kmeans::train(
+            &points,
+            nlist,
+            params.train_iters,
+            params.train_sample,
+            params.seed,
+        );
+        // Assign all points and bucket them (lock-free via semisort).
+        let assignment: Vec<u32> = kmeans::assign(&points, &quantizer);
+        let pairs: Vec<(u32, u32)> = assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        let grouped = group_by_u32(&pairs);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlist];
+        for g in 0..grouped.num_groups() {
+            let grp = grouped.group(g);
+            lists[grp[0].0 as usize] = grp.iter().map(|&(_, i)| i).collect();
+        }
+
+        // Optional PQ compression of the entries.
+        let (pq, codes) = match params.pq {
+            Some(pq_params) => {
+                let pq = ProductQuantizer::train(&points, &pq_params);
+                let codes: Vec<Vec<u8>> = lists
+                    .par_iter()
+                    .map(|list| {
+                        let mut c = Vec::with_capacity(list.len() * pq.code_len());
+                        for &id in list {
+                            c.extend(pq.encode(&to_f32_vec(points.point(id as usize))));
+                        }
+                        c
+                    })
+                    .collect();
+                (Some(pq), codes)
+            }
+            None => (None, Vec::new()),
+        };
+
+        IvfIndex {
+            quantizer,
+            lists,
+            codes,
+            pq,
+            rerank_factor: params.rerank_factor,
+            metric,
+            build_stats: parlayann::BuildStats {
+                seconds: t0.elapsed().as_secs_f64(),
+                dist_comps: (n * params.train_iters) as u64, // coarse assignment cost
+            },
+            points,
+        }
+    }
+
+    /// Queries with `nprobe` lists. Returns `(id, dist)` pairs sorted
+    /// ascending plus stats (every scanned entry counts one comparison).
+    pub fn search_nprobe(
+        &self,
+        query: &[T],
+        k: usize,
+        nprobe: usize,
+    ) -> (Vec<(u32, f32)>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let qf = to_f32_vec(query);
+        let ranked = self.quantizer.rank_all(&qf);
+        stats.dist_comps += self.quantizer.k();
+        let nprobe = nprobe.clamp(1, self.lists.len());
+        let mut cands: Vec<(u32, f32)> = Vec::new();
+        match &self.pq {
+            None => {
+                for &(c, _) in ranked.iter().take(nprobe) {
+                    stats.hops += 1;
+                    for &id in &self.lists[c as usize] {
+                        let d = distance(query, self.points.point(id as usize), self.metric);
+                        stats.dist_comps += 1;
+                        cands.push((id, d));
+                    }
+                }
+            }
+            Some(pq) => {
+                let table = pq.adc_table(&qf, self.metric);
+                for &(c, _) in ranked.iter().take(nprobe) {
+                    stats.hops += 1;
+                    let list = &self.lists[c as usize];
+                    let codes = &self.codes[c as usize];
+                    for (i, &id) in list.iter().enumerate() {
+                        let code = &codes[i * pq.code_len()..(i + 1) * pq.code_len()];
+                        let d = pq.adc_distance(&table, code);
+                        stats.dist_comps += 1;
+                        cands.push((id, d));
+                    }
+                }
+                if self.rerank_factor > 0 {
+                    // Exact re-rank of the ADC top candidates.
+                    let keep = (self.rerank_factor * k).max(k).min(cands.len());
+                    cands.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    cands.truncate(keep);
+                    for cand in &mut cands {
+                        cand.1 = distance(query, self.points.point(cand.0 as usize), self.metric);
+                        stats.dist_comps += 1;
+                    }
+                }
+            }
+        }
+        cands.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        cands.truncate(k);
+        (cands, stats)
+    }
+
+    /// Parallel batch query (used by the harness for QPS measurement).
+    pub fn search_batch(
+        &self,
+        queries: &PointSet<T>,
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        tabulate(queries.len(), |q| {
+            self.search_nprobe(queries.point(q), k, nprobe).0
+        })
+    }
+
+    /// Mean posting-list length (diagnostics).
+    pub fn avg_list_len(&self) -> f64 {
+        self.points.len() as f64 / self.lists.len() as f64
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &PointSet<T> {
+        &self.points
+    }
+}
+
+impl<T: VectorElem> AnnIndex<T> for IvfIndex<T> {
+    /// `params.beam` is interpreted as `nprobe`.
+    fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
+        self.search_nprobe(query, params.k, params.beam)
+    }
+
+    fn name(&self) -> String {
+        if self.pq.is_some() {
+            format!("FAISS-IVFPQ({})", self.lists.len())
+        } else {
+            format!("FAISS-IVF({})", self.lists.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::{bigann_like, compute_ground_truth, recall_ids, text2image_like};
+
+    fn results_to_ids(results: Vec<Vec<(u32, f32)>>) -> Vec<Vec<u32>> {
+        results
+            .into_iter()
+            .map(|r| r.into_iter().map(|(id, _)| id).collect())
+            .collect()
+    }
+
+    #[test]
+    fn full_probe_ivf_flat_is_exact() {
+        let d = bigann_like(1_000, 20, 6);
+        let index = IvfIndex::build(
+            d.points.clone(),
+            d.metric,
+            &IvfParams {
+                nlist: 16,
+                ..IvfParams::default()
+            },
+        );
+        let gt = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
+        // Probing every list is a brute-force scan => recall 1.0.
+        let results = results_to_ids(index.search_batch(&d.queries, 10, 16));
+        assert_eq!(recall_ids(&gt, &results, 10, 10), 1.0);
+    }
+
+    #[test]
+    fn recall_increases_with_nprobe() {
+        let d = bigann_like(2_000, 30, 7);
+        let index = IvfIndex::build(
+            d.points.clone(),
+            d.metric,
+            &IvfParams {
+                nlist: 64,
+                ..IvfParams::default()
+            },
+        );
+        let gt = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
+        let r1 = recall_ids(&gt, &results_to_ids(index.search_batch(&d.queries, 10, 1)), 10, 10);
+        let r8 = recall_ids(&gt, &results_to_ids(index.search_batch(&d.queries, 10, 8)), 10, 10);
+        let r64 =
+            recall_ids(&gt, &results_to_ids(index.search_batch(&d.queries, 10, 64)), 10, 10);
+        assert!(r1 <= r8 + 1e-9 && r8 <= r64 + 1e-9, "{r1} {r8} {r64}");
+        assert_eq!(r64, 1.0);
+    }
+
+    #[test]
+    fn pq_has_recall_ceiling_without_rerank() {
+        let d = bigann_like(2_000, 30, 8);
+        let gt = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
+        let no_rerank = IvfIndex::build(
+            d.points.clone(),
+            d.metric,
+            &IvfParams {
+                nlist: 32,
+                pq: Some(PqParams {
+                    m: 8,
+                    ..PqParams::default()
+                }),
+                rerank_factor: 0,
+                ..IvfParams::default()
+            },
+        );
+        // Probing everything still cannot exceed what 8-byte codes resolve.
+        let r = recall_ids(
+            &gt,
+            &results_to_ids(no_rerank.search_batch(&d.queries, 10, 32)),
+            10,
+            10,
+        );
+        assert!(r < 0.999, "PQ without rerank should not be exact, got {r}");
+        let rerank = IvfIndex::build(
+            d.points.clone(),
+            d.metric,
+            &IvfParams {
+                nlist: 32,
+                pq: Some(PqParams {
+                    m: 8,
+                    ..PqParams::default()
+                }),
+                rerank_factor: 8,
+                ..IvfParams::default()
+            },
+        );
+        let rr = recall_ids(
+            &gt,
+            &results_to_ids(rerank.search_batch(&d.queries, 10, 32)),
+            10,
+            10,
+        );
+        assert!(rr > r, "re-ranking must improve recall: {rr} vs {r}");
+    }
+
+    #[test]
+    fn ood_queries_hurt_ivf_recall() {
+        // The paper's headline OOD finding, in miniature: at a fixed small
+        // nprobe, OOD queries lose more recall than in-distribution ones.
+        let ood = text2image_like(2_000, 30, 9);
+        let index = IvfIndex::build(
+            ood.points.clone(),
+            ood.metric,
+            &IvfParams {
+                nlist: 64,
+                ..IvfParams::default()
+            },
+        );
+        let gt = compute_ground_truth(&ood.points, &ood.queries, 10, ood.metric);
+        let r_small = recall_ids(
+            &gt,
+            &results_to_ids(index.search_batch(&ood.queries, 10, 2)),
+            10,
+            10,
+        );
+        let ind = bigann_like(2_000, 30, 9);
+        let index2 = IvfIndex::build(
+            ind.points.clone(),
+            ind.metric,
+            &IvfParams {
+                nlist: 64,
+                ..IvfParams::default()
+            },
+        );
+        let gt2 = compute_ground_truth(&ind.points, &ind.queries, 10, ind.metric);
+        let r_ind = recall_ids(
+            &gt2,
+            &results_to_ids(index2.search_batch(&ind.queries, 10, 2)),
+            10,
+            10,
+        );
+        assert!(
+            r_small < r_ind,
+            "OOD recall {r_small} should trail in-distribution {r_ind}"
+        );
+    }
+
+    #[test]
+    fn deterministic_lists_across_pools() {
+        let d = bigann_like(1_500, 5, 2);
+        let build = || {
+            let idx = IvfIndex::build(
+                d.points.clone(),
+                d.metric,
+                &IvfParams {
+                    nlist: 32,
+                    ..IvfParams::default()
+                },
+            );
+            idx.lists.clone()
+        };
+        let a = parlay::with_threads(1, build);
+        let b = parlay::with_threads(2, build);
+        assert_eq!(a, b);
+    }
+}

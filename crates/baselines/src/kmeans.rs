@@ -1,0 +1,256 @@
+//! Deterministic parallel Lloyd's k-means.
+//!
+//! The coarse quantizer behind the IVF baseline (FAISS-style) and the
+//! per-subspace codebook trainer for product quantization. Initialization
+//! samples points by hash order and centroid updates accumulate in `f64`
+//! over fixed-size chunks, so training is deterministic for any thread
+//! count — the property the paper's Open Question 3 asks about for
+//! quantization methods.
+
+use ann_data::{PointSet, VectorElem};
+use parlay::{hash64, min_index_by, tabulate};
+use rayon::prelude::*;
+
+/// A trained codebook of `k` centroids in `f32`.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Row-major `k × dim` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Dimensionality.
+    pub dim: usize,
+}
+
+impl KMeans {
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.centroids.len() / self.dim
+    }
+
+    /// The `c`-th centroid.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Squared L2 distance from an `f32` vector to centroid `c`.
+    #[inline]
+    pub fn dist_to(&self, v: &[f32], c: usize) -> f32 {
+        let cen = self.centroid(c);
+        let mut s = 0.0f32;
+        for (x, y) in v.iter().zip(cen) {
+            let d = x - y;
+            s += d * d;
+        }
+        s
+    }
+
+    /// Index of the nearest centroid (ties toward the smaller index).
+    pub fn nearest(&self, v: &[f32]) -> u32 {
+        let mut best = 0u32;
+        let mut best_d = self.dist_to(v, 0);
+        for c in 1..self.k() {
+            let d = self.dist_to(v, c);
+            if d < best_d {
+                best_d = d;
+                best = c as u32;
+            }
+        }
+        best
+    }
+
+    /// Centroid indices sorted by distance to `v`, ascending (probe order).
+    pub fn rank_all(&self, v: &[f32]) -> Vec<(u32, f32)> {
+        let mut out: Vec<(u32, f32)> = (0..self.k() as u32)
+            .map(|c| (c, self.dist_to(v, c as usize)))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Widens a point to `f32`.
+pub fn to_f32_vec<T: VectorElem>(p: &[T]) -> Vec<f32> {
+    p.iter().map(|x| x.to_f32()).collect()
+}
+
+/// Trains `k` centroids with `iters` Lloyd iterations over (at most)
+/// `sample` points chosen by hash order. Deterministic.
+pub fn train<T: VectorElem>(
+    points: &PointSet<T>,
+    k: usize,
+    iters: usize,
+    sample: usize,
+    seed: u64,
+) -> KMeans {
+    let n = points.len();
+    let dim = points.dim();
+    let k = k.min(n).max(1);
+
+    // Deterministic sample: ids ordered by hash, first `sample`.
+    let mut hashed: Vec<(u64, u32)> = (0..n as u32)
+        .map(|i| (hash64(seed ^ ((i as u64) << 20)), i))
+        .collect();
+    parlay::sort(&mut hashed);
+    let sample_ids: Vec<u32> = hashed
+        .iter()
+        .take(sample.max(k).min(n))
+        .map(|&(_, i)| i)
+        .collect();
+    let data: Vec<f32> = sample_ids
+        .iter()
+        .flat_map(|&i| points.point(i as usize).iter().map(|x| x.to_f32()))
+        .collect();
+    let m = sample_ids.len();
+
+    // Init: the first k sampled points (hash order ⇒ effectively random).
+    let mut model = KMeans {
+        centroids: data[..k * dim].to_vec(),
+        dim,
+    };
+
+    const CHUNK: usize = 1024;
+    for _ in 0..iters {
+        // Assign (parallel, deterministic).
+        let assignment: Vec<u32> = tabulate(m, |i| model.nearest(&data[i * dim..(i + 1) * dim]));
+        // Accumulate per fixed-size chunk, combine sequentially.
+        let partials: Vec<(Vec<f64>, Vec<u64>)> = (0..m.div_ceil(CHUNK))
+            .into_par_iter()
+            .map(|b| {
+                let mut sums = vec![0.0f64; k * dim];
+                let mut counts = vec![0u64; k];
+                for i in b * CHUNK..((b + 1) * CHUNK).min(m) {
+                    let c = assignment[i] as usize;
+                    counts[c] += 1;
+                    let row = &data[i * dim..(i + 1) * dim];
+                    for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                        *s += x as f64;
+                    }
+                }
+                (sums, counts)
+            })
+            .collect();
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for (ps, pc) in partials {
+            for (s, x) in sums.iter_mut().zip(ps) {
+                *s += x;
+            }
+            for (c, x) in counts.iter_mut().zip(pc) {
+                *c += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..dim {
+                    model.centroids[c * dim + j] = (sums[c * dim + j] / counts[c] as f64) as f32;
+                }
+            }
+            // Empty clusters keep their previous centroid.
+        }
+    }
+    model
+}
+
+/// Assigns every point of `points` to its nearest centroid (parallel).
+pub fn assign<T: VectorElem>(points: &PointSet<T>, model: &KMeans) -> Vec<u32> {
+    tabulate(points.len(), |i| {
+        model.nearest(&to_f32_vec(points.point(i)))
+    })
+}
+
+/// The index of the sample point nearest to `v` (helper for tests).
+pub fn nearest_point<T: VectorElem>(points: &PointSet<T>, v: &[f32]) -> u32 {
+    let ids: Vec<u32> = (0..points.len() as u32).collect();
+    let best = min_index_by(&ids, |&i| {
+        let p = points.point(i as usize);
+        let mut s = 0.0f32;
+        for (x, &y) in p.iter().zip(v) {
+            let d = x.to_f32() - y;
+            s += d * d;
+        }
+        (s.to_bits(), i)
+    })
+    .expect("nonempty");
+    ids[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::bigann_like;
+
+    #[test]
+    fn centroids_land_on_blobs() {
+        // Two tight blobs; k=2 must place one centroid near each.
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            let base = if i % 2 == 0 { 0.0f32 } else { 100.0 };
+            rows.push(vec![base + (i % 5) as f32 * 0.01, base]);
+        }
+        let points = PointSet::from_rows(&rows);
+        let model = train(&points, 2, 10, 100, 1);
+        let c0 = model.centroid(0);
+        let c1 = model.centroid(1);
+        let near = |c: &[f32], target: f32| (c[0] - target).abs() < 5.0;
+        assert!(
+            (near(c0, 0.0) && near(c1, 100.0)) || (near(c0, 100.0) && near(c1, 0.0)),
+            "centroids {c0:?} {c1:?}"
+        );
+    }
+
+    #[test]
+    fn assignment_is_nearest() {
+        let d = bigann_like(500, 1, 2);
+        let model = train(&d.points, 8, 5, 500, 3);
+        let assignment = assign(&d.points, &model);
+        for i in (0..500).step_by(37) {
+            let v = to_f32_vec(d.points.point(i));
+            let c = assignment[i] as usize;
+            let dc = model.dist_to(&v, c);
+            for other in 0..8 {
+                assert!(dc <= model.dist_to(&v, other) + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_across_pools() {
+        let d = bigann_like(2_000, 1, 5);
+        let a = parlay::with_threads(1, || train(&d.points, 16, 6, 2_000, 7).centroids);
+        let b = parlay::with_threads(2, || train(&d.points, 16, 6, 2_000, 7).centroids);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_iters_reduce_quantization_error() {
+        let d = bigann_like(1_000, 1, 9);
+        let err = |iters: usize| {
+            let model = train(&d.points, 16, iters, 1_000, 7);
+            let assignment = assign(&d.points, &model);
+            let mut total = 0.0f64;
+            for i in 0..1_000 {
+                let v = to_f32_vec(d.points.point(i));
+                total += model.dist_to(&v, assignment[i] as usize) as f64;
+            }
+            total
+        };
+        assert!(err(8) <= err(1));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let points = PointSet::from_rows(&[vec![0.0f32], vec![1.0]]);
+        let model = train(&points, 10, 3, 10, 1);
+        assert_eq!(model.k(), 2);
+    }
+
+    #[test]
+    fn rank_all_sorted() {
+        let d = bigann_like(300, 1, 4);
+        let model = train(&d.points, 12, 4, 300, 2);
+        let ranks = model.rank_all(&to_f32_vec(d.points.point(0)));
+        assert_eq!(ranks.len(), 12);
+        for w in ranks.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

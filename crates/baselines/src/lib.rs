@@ -1,0 +1,28 @@
+//! # ann-baselines — non-graph comparators and lock-based originals
+//!
+//! The comparison systems of the ParlayANN evaluation, written from
+//! scratch:
+//!
+//! * [`kmeans`] — deterministic parallel Lloyd's (coarse quantizer).
+//! * [`ivf`] — FAISS-style inverted-file index, optionally with
+//!   [`pq`] product-quantized entries + exact re-ranking ("FAISS" in the
+//!   paper's figures).
+//! * [`lsh`] — FALCONN-style multi-table hyperplane LSH with multiprobe.
+//! * [`locked`] — "original" lock-based DiskANN/HNSW and tree-parallel-only
+//!   HCNNG/PyNNDescent builders, used as the Fig. 1 comparators.
+//!
+//! All indexes implement [`parlayann::AnnIndex`], so the benchmark harness
+//! sweeps them with the same driver as the graph algorithms.
+
+pub mod ivf;
+pub mod kmeans;
+pub mod locked;
+pub mod lsh;
+pub mod pq;
+pub mod quantized;
+
+pub use ivf::{IvfIndex, IvfParams};
+pub use kmeans::KMeans;
+pub use lsh::{LshIndex, LshParams};
+pub use pq::{PqParams, ProductQuantizer};
+pub use quantized::{PqVamanaIndex, PqVamanaParams};

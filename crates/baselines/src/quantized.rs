@@ -1,0 +1,264 @@
+//! PQ-compressed graph search — the paper's Open Question 3.
+//!
+//! *"How can quantization methods be efficiently parallelized and made
+//! deterministic, and how do such methods affect the choice of ANNS
+//! algorithms?"* (§7). This module provides one concrete answer:
+//!
+//! * PQ training here **is** deterministic (fixed-chunk f64 accumulation in
+//!   [`crate::kmeans`]), so a compressed index inherits the library's
+//!   determinism guarantee;
+//! * [`PqVamanaIndex`] walks a Vamana graph using **ADC distances over
+//!   8-byte-per-subspace codes** instead of raw vectors, then re-ranks the
+//!   final beam exactly — the memory/accuracy trade DiskANN uses for its
+//!   SSD variant, applied to the in-memory graph.
+//!
+//! The `ablations` experiment compares it against the uncompressed index:
+//! same graph, ~`m`-byte vectors, small recall loss recovered by re-ranking.
+
+use crate::kmeans::to_f32_vec;
+use crate::pq::{PqParams, ProductQuantizer};
+use ann_data::{distance, Metric, PointSet, VectorElem};
+use parlayann::beam::GraphView;
+use parlayann::{AnnIndex, BuildStats, FlatGraph, QueryParams, SearchStats, VamanaIndex, VamanaParams};
+use rayon::prelude::*;
+
+/// Build parameters for [`PqVamanaIndex`].
+#[derive(Clone, Copy, Debug)]
+pub struct PqVamanaParams {
+    /// Graph construction parameters (build uses the *uncompressed*
+    /// vectors, as DiskANN does).
+    pub vamana: VamanaParams,
+    /// Compression parameters.
+    pub pq: PqParams,
+    /// Re-rank the top `rerank_factor × k` beam entries with exact
+    /// distances (0 disables re-ranking).
+    pub rerank_factor: usize,
+}
+
+impl Default for PqVamanaParams {
+    fn default() -> Self {
+        PqVamanaParams {
+            vamana: VamanaParams::default(),
+            pq: PqParams::default(),
+            rerank_factor: 4,
+        }
+    }
+}
+
+/// A Vamana graph searched through PQ codes.
+pub struct PqVamanaIndex<T> {
+    /// The proximity graph (identical to the uncompressed index's).
+    pub graph: FlatGraph,
+    /// Search entry point.
+    pub start: u32,
+    /// Scoring metric.
+    pub metric: Metric,
+    /// Build statistics.
+    pub build_stats: BuildStats,
+    pq: ProductQuantizer,
+    /// Codes, `n × code_len` row-major.
+    codes: Vec<u8>,
+    rerank_factor: usize,
+    points: PointSet<T>,
+}
+
+impl<T: VectorElem> PqVamanaIndex<T> {
+    /// Builds the graph on raw vectors, then compresses every vector.
+    pub fn build(points: PointSet<T>, metric: Metric, params: &PqVamanaParams) -> Self {
+        let inner = VamanaIndex::build(points, metric, &params.vamana);
+        Self::from_index(inner, &params.pq, params.rerank_factor)
+    }
+
+    /// Compresses an existing uncompressed index.
+    pub fn from_index(index: VamanaIndex<T>, pq_params: &PqParams, rerank_factor: usize) -> Self {
+        let pq = ProductQuantizer::train(index.points(), pq_params);
+        let code_len = pq.code_len();
+        let n = index.len();
+        let codes: Vec<u8> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|i| pq.encode(&to_f32_vec(index.points().point(i))))
+            .collect();
+        debug_assert_eq!(codes.len(), n * code_len);
+        let (graph, start, metric, build_stats, points) = index.into_parts();
+        PqVamanaIndex {
+            graph,
+            start,
+            metric,
+            build_stats,
+            pq,
+            codes,
+            rerank_factor,
+            points,
+        }
+    }
+
+    /// Code bytes per vector.
+    pub fn code_len(&self) -> usize {
+        self.pq.code_len()
+    }
+
+    #[inline]
+    fn code(&self, id: u32) -> &[u8] {
+        let cl = self.pq.code_len();
+        &self.codes[id as usize * cl..(id as usize + 1) * cl]
+    }
+
+    /// Beam search over the graph scoring candidates by ADC distance, with
+    /// exact re-ranking of the final beam. Single-threaded per query.
+    pub fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let qf = to_f32_vec(query);
+        let table = self.pq.adc_table(&qf, self.metric);
+        let cmp = |a: &(u32, f32), b: &(u32, f32)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
+
+        // ADC beam search (mirrors core::beam with a different scorer).
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(self.start);
+        let d0 = self.pq.adc_distance(&table, self.code(self.start));
+        stats.dist_comps += 1;
+        let mut frontier = vec![(self.start, d0)];
+        let mut visited: Vec<(u32, f32)> = Vec::new();
+        let mut unvisited = frontier.clone();
+        while let Some(&current) = unvisited.first() {
+            let pos = visited
+                .binary_search_by(|x| cmp(x, &current))
+                .unwrap_or_else(|e| e);
+            visited.insert(pos, current);
+            stats.hops += 1;
+            let worst = if frontier.len() == params.beam {
+                frontier.last().expect("nonempty").1
+            } else {
+                f32::INFINITY
+            };
+            let mut cands = Vec::new();
+            for &w in self.graph.out_neighbors(current.0) {
+                if seen.insert(w) {
+                    let d = self.pq.adc_distance(&table, self.code(w));
+                    stats.dist_comps += 1;
+                    if d < worst {
+                        cands.push((w, d));
+                    }
+                }
+            }
+            frontier.extend(cands);
+            frontier.sort_by(cmp);
+            frontier.truncate(params.beam);
+            unvisited = frontier
+                .iter()
+                .filter(|x| visited.binary_search_by(|y| cmp(y, x)).is_err())
+                .copied()
+                .collect();
+        }
+
+        // Exact re-rank of the best ADC candidates.
+        let keep = if self.rerank_factor > 0 {
+            (self.rerank_factor * params.k).min(frontier.len())
+        } else {
+            params.k.min(frontier.len())
+        };
+        frontier.truncate(keep);
+        if self.rerank_factor > 0 {
+            for cand in &mut frontier {
+                cand.1 = distance(query, self.points.point(cand.0 as usize), self.metric);
+                stats.dist_comps += 1;
+            }
+            frontier.sort_by(cmp);
+        }
+        frontier.truncate(params.k);
+        (frontier, stats)
+    }
+
+    /// The indexed points (kept for re-ranking).
+    pub fn points(&self) -> &PointSet<T> {
+        &self.points
+    }
+}
+
+impl<T: VectorElem> AnnIndex<T> for PqVamanaIndex<T> {
+    fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
+        PqVamanaIndex::search(self, query, params)
+    }
+
+    fn name(&self) -> String {
+        format!("PQ{}-DiskANN", self.code_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::{bigann_like, compute_ground_truth, recall_ids};
+
+    #[test]
+    fn compressed_search_reaches_good_recall_with_rerank() {
+        let data = bigann_like(2_000, 40, 71);
+        let index = PqVamanaIndex::build(data.points.clone(), data.metric, &PqVamanaParams::default());
+        let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
+        let qp = QueryParams {
+            beam: 64,
+            ..QueryParams::default()
+        };
+        let results: Vec<Vec<u32>> = (0..data.queries.len())
+            .map(|q| {
+                index
+                    .search(data.queries.point(q), &qp)
+                    .0
+                    .into_iter()
+                    .map(|(id, _)| id)
+                    .collect()
+            })
+            .collect();
+        let r = recall_ids(&gt, &results, 10, 10);
+        assert!(r > 0.8, "PQ-graph recall {r}");
+    }
+
+    #[test]
+    fn rerank_improves_over_raw_adc() {
+        let data = bigann_like(2_000, 40, 72);
+        let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
+        let qp = QueryParams {
+            beam: 64,
+            ..QueryParams::default()
+        };
+        let recall_of = |rerank: usize| {
+            let index = PqVamanaIndex::build(
+                data.points.clone(),
+                data.metric,
+                &PqVamanaParams {
+                    rerank_factor: rerank,
+                    ..PqVamanaParams::default()
+                },
+            );
+            let results: Vec<Vec<u32>> = (0..data.queries.len())
+                .map(|q| {
+                    index
+                        .search(data.queries.point(q), &qp)
+                        .0
+                        .into_iter()
+                        .map(|(id, _)| id)
+                        .collect()
+                })
+                .collect();
+            recall_ids(&gt, &results, 10, 10)
+        };
+        assert!(recall_of(4) > recall_of(0), "re-ranking must help");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let data = bigann_like(800, 5, 73);
+        let params = PqVamanaParams::default();
+        let run = || {
+            let idx = PqVamanaIndex::build(data.points.clone(), data.metric, &params);
+            // Digest graph + codes.
+            let mut h = idx.graph.fingerprint();
+            for &c in &idx.codes {
+                h = parlay::hash64_pair(h, c as u64);
+            }
+            h
+        };
+        let a = parlay::with_threads(1, run);
+        let b = parlay::with_threads(2, run);
+        assert_eq!(a, b);
+    }
+}

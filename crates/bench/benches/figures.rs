@@ -1,0 +1,240 @@
+//! One criterion group per paper artifact, exercising the code path each
+//! figure/table measures at miniature scale. The full printed tables come
+//! from the `repro` binary; these benches keep every experiment's code
+//! under continuous timing.
+
+use ann_baselines::locked;
+use ann_baselines::{IvfIndex, IvfParams, PqParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlayann::{
+    HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    QueryParams, VamanaIndex, VamanaParams, VisitedMode,
+};
+use parlayann_bench::workloads;
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 1_500;
+
+fn small_params() -> VamanaParams {
+    VamanaParams {
+        degree: 16,
+        beam: 32,
+        ..VamanaParams::default()
+    }
+}
+
+/// Fig. 1 — the build comparison: prefix-doubling vs lock-based original.
+fn fig1_scalability(c: &mut Criterion) {
+    let w = workloads::bigann(N);
+    let mut g = c.benchmark_group("fig1_scalability");
+    g.sample_size(10);
+    g.bench_function("parlay_diskann_build", |b| {
+        b.iter(|| VamanaIndex::build(w.data.points.clone(), w.data.metric, &small_params()))
+    });
+    g.bench_function("original_locked_diskann_build", |b| {
+        b.iter(|| locked::original_diskann_build(&w.data.points, w.data.metric, 16, 32, 1.2))
+    });
+    g.finish();
+}
+
+/// Tab. 1 — build time of every algorithm.
+fn table1_build(c: &mut Criterion) {
+    let w = workloads::bigann(N);
+    let mut g = c.benchmark_group("table1_build");
+    g.sample_size(10);
+    g.bench_function("diskann", |b| {
+        b.iter(|| VamanaIndex::build(w.data.points.clone(), w.data.metric, &small_params()))
+    });
+    g.bench_function("hnsw", |b| {
+        b.iter(|| {
+            HnswIndex::build(
+                w.data.points.clone(),
+                w.data.metric,
+                &HnswParams {
+                    m: 8,
+                    ef_construction: 32,
+                    ..HnswParams::default()
+                },
+            )
+        })
+    });
+    g.bench_function("hcnng", |b| {
+        b.iter(|| {
+            HcnngIndex::build(
+                w.data.points.clone(),
+                w.data.metric,
+                &HcnngParams {
+                    num_trees: 6,
+                    leaf_size: 128,
+                    ..HcnngParams::default()
+                },
+            )
+        })
+    });
+    g.bench_function("pynndescent", |b| {
+        b.iter(|| {
+            PyNNDescentIndex::build(
+                w.data.points.clone(),
+                w.data.metric,
+                &PyNNDescentParams {
+                    k: 16,
+                    num_trees: 4,
+                    max_iters: 3,
+                    ..PyNNDescentParams::default()
+                },
+            )
+        })
+    });
+    g.bench_function("faiss_ivfpq", |b| {
+        b.iter(|| {
+            IvfIndex::build(
+                w.data.points.clone(),
+                w.data.metric,
+                &IvfParams {
+                    nlist: 32,
+                    pq: Some(PqParams {
+                        train_iters: 3,
+                        ..PqParams::default()
+                    }),
+                    ..IvfParams::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 3/4 — batch query throughput (the QPS measurement inner loop).
+fn fig3_qps_recall(c: &mut Criterion) {
+    let w = workloads::bigann(N);
+    let index = VamanaIndex::build(w.data.points.clone(), w.data.metric, &small_params());
+    let params = QueryParams {
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let mut g = c.benchmark_group("fig3_qps_recall");
+    g.bench_function("batch_100_queries_beam32", |b| {
+        b.iter(|| parlayann_bench::tabulate_queries(&index, &w.data.queries, black_box(&params)))
+    });
+    g.finish();
+}
+
+/// Fig. 5 — single-thread query.
+fn fig5_single_thread(c: &mut Criterion) {
+    let w = workloads::bigann(N);
+    let index = VamanaIndex::build(w.data.points.clone(), w.data.metric, &small_params());
+    let params = QueryParams {
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let mut g = c.benchmark_group("fig5_single_thread");
+    g.bench_function("one_query_beam32", |b| {
+        b.iter(|| index.search(black_box(w.data.queries.point(0)), &params))
+    });
+    g.finish();
+}
+
+/// Fig. 6 — build scaling across two sizes (the ratio is the figure).
+fn fig6_size_scaling(c: &mut Criterion) {
+    let small = workloads::msspacev(N / 2);
+    let large = workloads::msspacev(N);
+    let mut g = c.benchmark_group("fig6_size_scaling");
+    g.sample_size(10);
+    g.bench_function("build_n750", |b| {
+        b.iter(|| VamanaIndex::build(small.data.points.clone(), small.data.metric, &small_params()))
+    });
+    g.bench_function("build_n1500", |b| {
+        b.iter(|| VamanaIndex::build(large.data.points.clone(), large.data.metric, &small_params()))
+    });
+    g.finish();
+}
+
+/// Fig. 8 — IVF query cost vs centroid count.
+fn fig8_centroids(c: &mut Criterion) {
+    let w = workloads::bigann(N);
+    let build = |nlist: usize| {
+        IvfIndex::build(
+            w.data.points.clone(),
+            w.data.metric,
+            &IvfParams {
+                nlist,
+                pq: Some(PqParams {
+                    train_iters: 3,
+                    ..PqParams::default()
+                }),
+                ..IvfParams::default()
+            },
+        )
+    };
+    let small = build(16);
+    let large = build(64);
+    let mut g = c.benchmark_group("fig8_centroids");
+    g.bench_function("query_nlist16_nprobe4", |b| {
+        b.iter(|| small.search_nprobe(black_box(w.data.queries.point(0)), 10, 4))
+    });
+    g.bench_function("query_nlist64_nprobe4", |b| {
+        b.iter(|| large.search_nprobe(black_box(w.data.queries.point(0)), 10, 4))
+    });
+    g.finish();
+}
+
+/// §4.5 ablation — approximate vs exact visited set.
+fn ablation_visited_set(c: &mut Criterion) {
+    let w = workloads::bigann(N);
+    let index = VamanaIndex::build(w.data.points.clone(), w.data.metric, &small_params());
+    let mut g = c.benchmark_group("ablation_visited_set");
+    for (label, mode) in [("approx", VisitedMode::Approx), ("exact", VisitedMode::Exact)] {
+        let params = QueryParams {
+            beam: 32,
+            visited: mode,
+            ..QueryParams::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| index.search(black_box(w.data.queries.point(0)), &params))
+        });
+    }
+    g.finish();
+}
+
+/// §3.1 ablation — prefix doubling vs a single batch.
+fn ablation_prefix_doubling(c: &mut Criterion) {
+    use parlayann::builder::{incremental_build, insertion_order, AlphaPrune, BuildParams};
+    let w = workloads::bigann(N);
+    let start = parlayann::medoid(&w.data.points);
+    let order = insertion_order(N, start, 1);
+    let mut g = c.benchmark_group("ablation_prefix_doubling");
+    g.sample_size(10);
+    for (label, pd) in [("prefix_doubling", true), ("single_batch", false)] {
+        let bp = BuildParams {
+            degree: 16,
+            beam: 32,
+            prefix_doubling: pd,
+            ..BuildParams::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                incremental_build(
+                    &w.data.points,
+                    w.data.metric,
+                    start,
+                    &order,
+                    &bp,
+                    &AlphaPrune(1.2),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = fig1_scalability, table1_build, fig3_qps_recall, fig5_single_thread,
+              fig6_size_scaling, fig8_centroids, ablation_visited_set, ablation_prefix_doubling
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks for the hot kernels: distance functions, the parallel
+//! primitives underpinning the builds, and a single beam-search query.
+
+use ann_data::{bigann_like, distance, text2image_like, Metric};
+use criterion::{criterion_group, criterion_main, Criterion};
+use parlayann::{QueryParams, VamanaIndex, VamanaParams};
+use std::hint::black_box;
+
+fn bench_distance(c: &mut Criterion) {
+    let u8data = bigann_like(2, 1, 1);
+    let f32data = text2image_like(2, 1, 1);
+    let (a8, b8) = (u8data.points.point(0), u8data.points.point(1));
+    let (af, bf) = (f32data.points.point(0), f32data.points.point(1));
+    let mut g = c.benchmark_group("distance");
+    g.bench_function("l2_u8_128d", |b| {
+        b.iter(|| distance(black_box(a8), black_box(b8), Metric::SquaredEuclidean))
+    });
+    g.bench_function("ip_f32_200d", |b| {
+        b.iter(|| distance(black_box(af), black_box(bf), Metric::InnerProduct))
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let items: Vec<(u32, u32)> = (0..100_000u32)
+        .map(|i| ((parlay::hash64(i as u64) % 1000) as u32, i))
+        .collect();
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(10);
+    g.bench_function("semisort_100k", |b| {
+        b.iter(|| parlay::semisort(black_box(&items), |&(k, _)| k as u64))
+    });
+    g.bench_function("sort_100k", |b| {
+        b.iter(|| {
+            let mut v = items.clone();
+            parlay::sort(&mut v);
+            v
+        })
+    });
+    let xs: Vec<u64> = (0..100_000).map(parlay::hash64).collect();
+    g.bench_function("scan_100k", |b| {
+        b.iter(|| parlay::scan(black_box(&xs), 0u64, |a, b| a.wrapping_add(b)))
+    });
+    g.finish();
+}
+
+fn bench_beam_search(c: &mut Criterion) {
+    let data = bigann_like(5_000, 10, 7);
+    let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+    let params = QueryParams::default();
+    let mut g = c.benchmark_group("beam_search");
+    g.bench_function("query_beam64_n5k", |b| {
+        b.iter(|| index.search(black_box(data.queries.point(0)), &params))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_distance, bench_primitives, bench_beam_search
+}
+criterion_main!(benches);

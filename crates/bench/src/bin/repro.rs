@@ -1,0 +1,64 @@
+//! `repro` — regenerates every table and figure of the ParlayANN paper.
+//!
+//! ```text
+//! cargo run --release -p parlayann-bench --bin repro -- <experiment> [scale]
+//!
+//! experiments:
+//!   fig1       build-time speedup vs threads (Parlay vs original)
+//!   table1     build times across algorithms x datasets
+//!   fig3       QPS/recall + dist-comps/recall, largest scale
+//!   fig4       QPS/recall with PyNNDescent + two FAISS configs
+//!   fig5       single-thread QPS/recall incl. FAISS + FALCONN
+//!   fig6       dataset-size scaling at fixed 0.8 recall
+//!   fig8       FAISS centroid-count sweep
+//!   ablations  §3.1 / §4.3 / §4.5 in-text claims
+//!   params     print the paper's Fig. 7 parameter table
+//!   all        everything above
+//! ```
+//!
+//! `scale` (or `PARLAYANN_SCALE`) sets the base corpus size; experiments
+//! derive their own sizes from it (see each module's docs).
+
+use parlayann_bench::experiments;
+use parlayann_bench::workloads::default_scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let scale = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_scale);
+    let t0 = std::time::Instant::now();
+    println!(
+        "ParlayANN reproduction harness — experiment '{which}', scale {scale}, {} threads",
+        rayon::current_num_threads()
+    );
+    match which {
+        "fig1" => experiments::fig1::run(scale),
+        "table1" => experiments::table1::run(scale),
+        "fig3" => experiments::fig3::run(scale),
+        "fig4" => experiments::fig4::run(scale),
+        "fig5" => experiments::fig5::run(scale),
+        "fig6" => experiments::fig6::run(scale),
+        "fig8" => experiments::fig8::run(scale),
+        "ablations" => experiments::ablations::run(scale),
+        "params" => experiments::params::run(scale),
+        "all" => {
+            experiments::params::run(scale);
+            experiments::fig1::run(scale);
+            experiments::table1::run(scale);
+            experiments::fig3::run(scale);
+            experiments::fig4::run(scale);
+            experiments::fig5::run(scale);
+            experiments::fig6::run(scale);
+            experiments::fig8::run(scale);
+            experiments::ablations::run(scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'; see --help text in the module docs");
+            std::process::exit(2);
+        }
+    }
+    println!("\ndone in {:.1}s", t0.elapsed().as_secs_f64());
+}

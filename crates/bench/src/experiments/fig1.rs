@@ -1,0 +1,128 @@
+//! Fig. 1 — build-time scalability: Parlay vs "original" implementations.
+//!
+//! The paper's headline scalability figure: for each of the four
+//! algorithms, build time at increasing thread counts, normalized as
+//! speedup over the *original implementation on one thread* (so the two
+//! curves in each panel are directly comparable). The expected shape —
+//! Parlay ≥ original everywhere, with the gap growing with threads — holds
+//! at any core count; the paper's 48-core magnitudes obviously need 48
+//! cores.
+
+use crate::harness::{fmt, print_table, write_csv};
+use crate::workloads;
+use ann_baselines::locked;
+use parlay::with_threads;
+use parlayann::{HcnngIndex, HnswIndex, PyNNDescentIndex, VamanaIndex};
+
+/// Thread counts to sweep: powers of two up to the host parallelism.
+pub fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(2, |p| p.get());
+    let mut out = vec![1];
+    let mut t = 2;
+    while t <= max {
+        out.push(t);
+        t *= 2;
+    }
+    if *out.last().expect("nonempty") != max {
+        out.push(max);
+    }
+    out
+}
+
+fn time_it(f: impl FnOnce()) -> f64 {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs the experiment and prints the per-algorithm speedup table.
+pub fn run(scale: usize) {
+    let n = (scale / 2).max(2_000);
+    println!("Fig. 1: build scalability on BIGANN-like({n}) — speedups relative to the original implementation on 1 thread");
+    let w = workloads::bigann(n);
+    let points = &w.data.points;
+    let metric = w.data.metric;
+    let threads = thread_counts();
+
+    let vp = super::vamana_params(n, metric);
+    let hp = super::hnsw_params(n, metric);
+    let cp = super::hcnng_params(n);
+    let pp = super::pynn_params(n, metric);
+
+    // (name, parlay build closure, original build closure)
+    type Build<'a> = Box<dyn Fn() + Sync + 'a>;
+    let pairs: Vec<(&str, Build, Build)> = vec![
+        (
+            "DiskANN",
+            Box::new(|| {
+                VamanaIndex::build(points.clone(), metric, &vp);
+            }),
+            Box::new(|| {
+                locked::original_diskann_build(points, metric, vp.degree, vp.beam, vp.alpha);
+            }),
+        ),
+        (
+            "HNSW",
+            Box::new(|| {
+                HnswIndex::build(points.clone(), metric, &hp);
+            }),
+            Box::new(|| {
+                locked::original_hnsw_build(points, metric, 2 * hp.m, hp.ef_construction, hp.alpha);
+            }),
+        ),
+        (
+            "HCNNG",
+            Box::new(|| {
+                HcnngIndex::build(points.clone(), metric, &cp);
+            }),
+            Box::new(|| {
+                locked::per_tree_hcnng_build(points, metric, &cp);
+            }),
+        ),
+        (
+            "PyNNDescent",
+            Box::new(|| {
+                PyNNDescentIndex::build(points.clone(), metric, &pp);
+            }),
+            Box::new(|| {
+                locked::capped_pynn_build(points, metric, &pp);
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, parlay_build, original_build) in &pairs {
+        // Baselines on one thread (the paper normalizes to original@1T).
+        let base = with_threads(1, || time_it(original_build));
+        let parlay_base = with_threads(1, || time_it(parlay_build));
+        for &t in &threads {
+            let t_orig = with_threads(t, || time_it(original_build));
+            let t_parlay = with_threads(t, || time_it(parlay_build));
+            rows.push(vec![
+                name.to_string(),
+                t.to_string(),
+                fmt(t_orig),
+                fmt(t_parlay),
+                fmt(base / t_orig),
+                fmt(base / t_parlay),
+                fmt(parlay_base / t_parlay),
+            ]);
+        }
+    }
+    let headers = [
+        "algorithm",
+        "threads",
+        "orig_s",
+        "parlay_s",
+        "speedup_orig",
+        "speedup_parlay",
+        "parlay_self_speedup",
+    ];
+    print_table("Fig. 1 — build-time speedup vs threads", &headers, &rows);
+    write_csv("fig1", &headers, &rows);
+    println!(
+        "(paper, 48h threads: DiskANN 38x->51x, HNSW 26x->36x, HCNNG 28x->258x, PyNN 2x->28x;\n \
+         the lock/coarse-parallelism penalties of the originals grow with core count — at ≤4\n \
+         cores they are mild, so the self-relative speedup column is the clearer scaling signal)"
+    );
+}

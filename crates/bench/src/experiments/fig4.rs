@@ -1,0 +1,78 @@
+//! Fig. 4 — "hundred-million"-scale QPS/recall curves, including
+//! ParlayPyNN and two FAISS configurations, with a high-recall zoom.
+//!
+//! Shape: PyNNDescent is competitive at this scale (it cannot reach the
+//! Fig. 3 scale — the paper's memory analysis, §4.4); two FAISS configs
+//! trade off against each other but both trail the graphs at high recall.
+
+use crate::harness::{fmt, print_table, sweep, write_csv};
+use crate::workloads::{self, Workload, GT_K};
+use ann_baselines::{IvfParams, PqParams};
+use ann_data::VectorElem;
+
+fn run_dataset<T: VectorElem>(label: &str, w: &Workload<T>) -> Vec<Vec<String>> {
+    let n = w.data.points.len();
+    let mut rows = Vec::new();
+    let mut indexes = super::build_graphs(w, true);
+    // Two FAISS configurations (the paper shows two centroid/PQ variants).
+    let nlist = ((n as f64).sqrt() as usize).clamp(16, 4096);
+    for (suffix, params) in [
+        (
+            "A",
+            IvfParams {
+                nlist,
+                pq: Some(PqParams::default()),
+                rerank_factor: 4,
+                ..IvfParams::default()
+            },
+        ),
+        (
+            "B",
+            IvfParams {
+                nlist: nlist * 4,
+                pq: Some(PqParams {
+                    m: 8,
+                    ..PqParams::default()
+                }),
+                rerank_factor: 4,
+                ..IvfParams::default()
+            },
+        ),
+    ] {
+        let mut b = super::build_faiss(w, &params);
+        b.name = format!("{} {}", b.name, suffix);
+        indexes.push(b);
+    }
+    for built in &indexes {
+        let beams = if built.name.starts_with("FAISS") {
+            super::ivf_probes()
+        } else {
+            super::graph_beams()
+        };
+        let pts = sweep(&*built.index, &w.data.queries, &w.gt, GT_K, &beams, &[1.15]);
+        for p in pts {
+            rows.push(vec![
+                label.to_string(),
+                built.name.clone(),
+                p.beam.to_string(),
+                format!("{:.4}", p.recall),
+                fmt(p.qps),
+                if p.recall >= 0.9 { "zoom".into() } else { "".into() },
+            ]);
+        }
+    }
+    rows
+}
+
+/// Runs the experiment.
+pub fn run(scale: usize) {
+    let n = (scale / 2).max(2_000);
+    println!("Fig. 4: QPS-recall at n={n} (the paper's 100M-scale figure; rows tagged 'zoom' form the high-recall panels)");
+    let mut rows = Vec::new();
+    rows.extend(run_dataset("BIGANN", &workloads::bigann(n)));
+    rows.extend(run_dataset("MSSPACEV", &workloads::msspacev(n)));
+    rows.extend(run_dataset("TEXT2IMAGE", &workloads::text2image(n)));
+    let headers = ["dataset", "algorithm", "beam", "recall", "qps", "panel"];
+    print_table("Fig. 4 — QPS vs recall (100M-scale proxy)", &headers, &rows);
+    write_csv("fig4", &headers, &rows);
+}

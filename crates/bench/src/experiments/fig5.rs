@@ -1,0 +1,76 @@
+//! Fig. 5 — single-thread QPS/recall on BIGANN (the ANN-Benchmarks-style
+//! comparison), all four graph algorithms plus FAISS-PQ, FAISS-IVF(flat),
+//! and FALCONN-LSH.
+//!
+//! Shape: the graph algorithms trace the upper envelope; IVF-flat reaches
+//! recall 1.0 only at low QPS; FAISS-PQ is fast but capped; LSH trails
+//! everything (the paper subsequently drops FALCONN).
+
+use crate::harness::{fmt, print_table, sweep, write_csv};
+use crate::workloads::{self, GT_K};
+use ann_baselines::{IvfIndex, IvfParams, LshIndex, LshParams, PqParams};
+use parlayann::AnnIndex;
+
+/// Runs the experiment.
+pub fn run(scale: usize) {
+    let n = (scale / 2).max(2_000);
+    println!("Fig. 5: single-thread QPS-recall on BIGANN-like({n})");
+    let w = workloads::bigann(n);
+    let mut indexes = super::build_graphs(&w, true);
+    let nlist = ((n as f64).sqrt() as usize).clamp(16, 4096);
+    indexes.push(super::build_faiss(
+        &w,
+        &IvfParams {
+            nlist,
+            pq: Some(PqParams::default()),
+            rerank_factor: 4,
+            ..IvfParams::default()
+        },
+    ));
+    // IVF-flat (uncompressed) — "FAISS-IVF" in the figure.
+    let flat = IvfIndex::build(
+        w.data.points.clone(),
+        w.data.metric,
+        &IvfParams {
+            nlist,
+            pq: None,
+            ..IvfParams::default()
+        },
+    );
+    indexes.push(super::Built {
+        name: "FAISS-IVF(flat)".into(),
+        build_secs: flat.build_stats.seconds,
+        index: Box::new(flat),
+    });
+    let lsh = LshIndex::build(w.data.points.clone(), w.data.metric, &LshParams::default());
+    indexes.push(super::Built {
+        name: lsh.name(),
+        build_secs: lsh.build_stats.seconds,
+        index: Box::new(lsh),
+    });
+
+    let mut rows = Vec::new();
+    // Single-threaded measurement, as in ANN-Benchmarks.
+    parlay::with_threads(1, || {
+        for built in &indexes {
+            let beams = if built.name.contains("FAISS") || built.name.contains("LSH") {
+                super::ivf_probes()
+            } else {
+                super::graph_beams()
+            };
+            let pts = sweep(&*built.index, &w.data.queries, &w.gt, GT_K, &beams, &[1.15]);
+            for p in pts {
+                rows.push(vec![
+                    built.name.clone(),
+                    p.beam.to_string(),
+                    format!("{:.4}", p.recall),
+                    fmt(p.qps),
+                    fmt(p.dist_comps),
+                ]);
+            }
+        }
+    });
+    let headers = ["algorithm", "beam/probes", "recall", "qps", "dist_cmps"];
+    print_table("Fig. 5 — single-thread QPS vs recall", &headers, &rows);
+    write_csv("fig5", &headers, &rows);
+}

@@ -1,0 +1,59 @@
+//! Fig. 8 — FAISS centroid-count sweep: QPS/recall with 2¹⁶ vs 2¹⁸
+//! centroids on 100M slices of all three datasets (scaled: √n vs 4√n).
+//!
+//! Shape: more centroids shift the curve toward higher recall at the same
+//! nprobe (smaller lists scanned more precisely) at some QPS cost at low
+//! recall.
+
+use crate::harness::{fmt, print_table, sweep, write_csv};
+use crate::workloads::{self, Workload, GT_K};
+use ann_baselines::{IvfParams, PqParams};
+use ann_data::VectorElem;
+
+fn run_dataset<T: VectorElem>(label: &str, w: &Workload<T>) -> Vec<Vec<String>> {
+    let n = w.data.points.len();
+    let base = ((n as f64).sqrt() as usize).clamp(16, 4096);
+    let mut rows = Vec::new();
+    for (tag, nlist) in [("small", base), ("large", base * 4)] {
+        let built = super::build_faiss(
+            w,
+            &IvfParams {
+                nlist,
+                pq: Some(PqParams::default()),
+                rerank_factor: 4,
+                ..IvfParams::default()
+            },
+        );
+        let pts = sweep(
+            &*built.index,
+            &w.data.queries,
+            &w.gt,
+            GT_K,
+            &super::ivf_probes(),
+            &[1.0],
+        );
+        for p in pts {
+            rows.push(vec![
+                label.to_string(),
+                format!("{tag}({nlist})"),
+                p.beam.to_string(),
+                format!("{:.4}", p.recall),
+                fmt(p.qps),
+            ]);
+        }
+    }
+    rows
+}
+
+/// Runs the experiment.
+pub fn run(scale: usize) {
+    let n = (scale / 2).max(2_000);
+    println!("Fig. 8: FAISS centroid sweep at n={n} (paper: 2^16 vs 2^18 on 100M slices)");
+    let mut rows = Vec::new();
+    rows.extend(run_dataset("BIGANN", &workloads::bigann(n)));
+    rows.extend(run_dataset("MSSPACEV", &workloads::msspacev(n)));
+    rows.extend(run_dataset("TEXT2IMAGE", &workloads::text2image(n)));
+    let headers = ["dataset", "centroids", "nprobe", "recall", "qps"];
+    print_table("Fig. 8 — IVF centroid-count sweep", &headers, &rows);
+    write_csv("fig8", &headers, &rows);
+}

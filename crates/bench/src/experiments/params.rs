@@ -1,0 +1,28 @@
+//! Prints the paper's Fig. 7 parameter table and our scaled equivalents.
+
+use crate::harness::print_table;
+use parlayann::params::{paper_presets, scaled_defaults};
+
+/// Runs the (print-only) experiment.
+pub fn run(scale: usize) {
+    let rows: Vec<Vec<String>> = paper_presets()
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.algorithm.to_string(),
+                p.dataset.to_string(),
+                p.parameters.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7 — paper parameter presets (billion scale)",
+        &["algorithm", "dataset", "parameters"],
+        &rows,
+    );
+    let d = scaled_defaults(scale);
+    println!(
+        "\nScaled defaults at n={scale}: degree={}, beam={}, leaf_size={}, num_trees={}",
+        d.degree, d.beam, d.leaf_size, d.num_trees
+    );
+}

@@ -1,0 +1,26 @@
+//! # parlayann-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the ParlayANN evaluation (§5) at
+//! laptop scale. Each experiment module corresponds to one artifact:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`experiments::fig1`] | Fig. 1 — build-time speedup vs threads, Parlay vs original |
+//! | [`experiments::table1`] | Tab. 1 — build times across algorithms × datasets |
+//! | [`experiments::fig3`] | Fig. 3 — QPS/recall + dist-comps/recall, "billion"-scale |
+//! | [`experiments::fig4`] | Fig. 4 — QPS/recall at "100M" scale incl. PyNNDescent |
+//! | [`experiments::fig5`] | Fig. 5 — single-thread QPS/recall incl. FAISS + FALCONN |
+//! | [`experiments::fig6`] | Fig. 6 — dataset-size scaling at fixed recall |
+//! | [`experiments::fig8`] | Fig. 8 — FAISS centroid-count sweep |
+//! | [`experiments::ablations`] | §3.1 / §4.3 / §4.5 in-text claims |
+//!
+//! Scale is controlled by `PARLAYANN_SCALE` (default 20 000 points); every
+//! experiment prints the same rows/series the paper reports and appends
+//! CSV output under `results/`.
+
+pub mod experiments;
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{sweep, tabulate_queries, SweepPoint};
+pub use workloads::{default_scale, Workload};

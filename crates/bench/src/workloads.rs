@@ -1,0 +1,73 @@
+//! Dataset registry for the experiments.
+//!
+//! Wraps the synthetic generators of [`ann_data::datasets`] together with
+//! exact ground truth, with a global scale knob (`PARLAYANN_SCALE`).
+
+use ann_data::{
+    bigann_like, compute_ground_truth, msspacev_like, text2image_like, Dataset, GroundTruth,
+    VectorElem,
+};
+
+/// Number of queries used by every experiment.
+pub const NUM_QUERIES: usize = 100;
+
+/// Ground-truth depth (the paper reports 10@10 recall).
+pub const GT_K: usize = 10;
+
+/// The base corpus size, from `PARLAYANN_SCALE` (default 20 000).
+pub fn default_scale() -> usize {
+    std::env::var("PARLAYANN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000)
+}
+
+/// A dataset plus its exact ground truth.
+pub struct Workload<T> {
+    /// Corpus, queries, metric.
+    pub data: Dataset<T>,
+    /// Exact 10-NN of every query.
+    pub gt: GroundTruth,
+}
+
+impl<T: VectorElem> Workload<T> {
+    fn new(data: Dataset<T>) -> Self {
+        let gt = compute_ground_truth(&data.points, &data.queries, GT_K, data.metric);
+        Workload { data, gt }
+    }
+}
+
+/// BIGANN-like workload at size `n`.
+pub fn bigann(n: usize) -> Workload<u8> {
+    Workload::new(bigann_like(n, NUM_QUERIES, 42))
+}
+
+/// MSSPACEV-like workload at size `n`.
+pub fn msspacev(n: usize) -> Workload<i8> {
+    Workload::new(msspacev_like(n, NUM_QUERIES, 42))
+}
+
+/// TEXT2IMAGE-like (out-of-distribution) workload at size `n`.
+pub fn text2image(n: usize) -> Workload<f32> {
+    Workload::new(text2image_like(n, NUM_QUERIES, 42))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_consistent_shapes() {
+        let w = bigann(500);
+        assert_eq!(w.data.points.len(), 500);
+        assert_eq!(w.data.queries.len(), NUM_QUERIES);
+        assert_eq!(w.gt.num_queries(), NUM_QUERIES);
+        assert_eq!(w.gt.k, GT_K);
+    }
+
+    #[test]
+    fn scale_env_override() {
+        // Not set in tests by default => default value.
+        assert!(default_scale() >= 1000);
+    }
+}

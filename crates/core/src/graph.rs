@@ -1,0 +1,237 @@
+//! Fixed-stride adjacency storage for ANN graphs.
+//!
+//! The paper's layout optimization (§4.5): "the edge-list for each vertex is
+//! kept at a fixed length so we can calculate its offset from the vertex id"
+//! — no per-vertex indirection, no pointer chasing. A vertex's slot holds up
+//! to `max_degree` out-neighbor ids plus a live count.
+//!
+//! Batch builds mutate disjoint vertex rows from parallel loops through
+//! [`GraphWriter`], the lock-free write path of §3.1: after the semisort,
+//! each task owns exactly one vertex's row.
+
+use parlay::{hash64, hash64_pair, tabulate, UnsafeSliceCell};
+
+/// A directed graph over vertices `0..n` with bounded out-degree, stored as
+/// one flat array (`n × max_degree` edge slots + a count per vertex).
+#[derive(Clone, Debug)]
+pub struct FlatGraph {
+    max_degree: usize,
+    counts: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl FlatGraph {
+    /// An edgeless graph over `n` vertices with out-degree bound `max_degree`.
+    pub fn new(n: usize, max_degree: usize) -> Self {
+        assert!(max_degree > 0);
+        FlatGraph {
+            max_degree,
+            counts: vec![0; n],
+            edges: vec![0; n * max_degree],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The out-degree bound.
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        let start = v * self.max_degree;
+        &self.edges[start..start + self.counts[v] as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.counts[v as usize] as usize
+    }
+
+    /// Overwrites the out-neighborhood of `v` (sequential write path).
+    ///
+    /// Panics if `list` exceeds the degree bound.
+    pub fn set_neighbors(&mut self, v: u32, list: &[u32]) {
+        assert!(
+            list.len() <= self.max_degree,
+            "degree {} exceeds bound {}",
+            list.len(),
+            self.max_degree
+        );
+        let v = v as usize;
+        let start = v * self.max_degree;
+        self.edges[start..start + list.len()].copy_from_slice(list);
+        self.counts[v] = list.len() as u32;
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.len() as f64
+        }
+    }
+
+    /// Grows the vertex set to `new_n` (new vertices start edgeless).
+    /// Supports dynamic index growth; `new_n` must not shrink the graph.
+    pub fn grow(&mut self, new_n: usize) {
+        assert!(new_n >= self.len(), "FlatGraph::grow cannot shrink");
+        self.counts.resize(new_n, 0);
+        self.edges.resize(new_n * self.max_degree, 0);
+    }
+
+    /// A deterministic 64-bit digest of the full adjacency structure.
+    ///
+    /// Two graphs have equal fingerprints iff (with overwhelming
+    /// probability) every vertex has the same ordered neighbor list. Used by
+    /// the determinism tests: builds under different thread counts must
+    /// produce identical fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let row_hashes: Vec<u64> = tabulate(self.len(), |v| {
+            let mut h = hash64(v as u64 ^ 0xf1a7);
+            for &w in self.neighbors(v as u32) {
+                h = hash64_pair(h, w as u64);
+            }
+            h
+        });
+        // Order-dependent combine over a fixed order => deterministic.
+        row_hashes
+            .iter()
+            .fold(0u64, |acc, &h| hash64_pair(acc, h))
+    }
+
+    /// A parallel writer over disjoint vertex rows.
+    pub fn writer(&mut self) -> GraphWriter<'_> {
+        GraphWriter {
+            max_degree: self.max_degree,
+            counts: UnsafeSliceCell::new(&mut self.counts),
+            edges: UnsafeSliceCell::new(&mut self.edges),
+        }
+    }
+}
+
+/// Write handle allowing concurrent updates to *disjoint* vertex rows.
+///
+/// # Safety contract
+/// While a `GraphWriter` exists, each vertex row must be touched (read or
+/// written) by at most one task. The builders guarantee this: step (1)
+/// writes rows of the freshly inserted batch (unique ids), and step (2)
+/// writes rows grouped by a semisort (one group — one vertex — one task).
+pub struct GraphWriter<'a> {
+    max_degree: usize,
+    counts: UnsafeSliceCell<'a, u32>,
+    edges: UnsafeSliceCell<'a, u32>,
+}
+
+impl GraphWriter<'_> {
+    /// Overwrites the out-neighborhood of `v`.
+    ///
+    /// # Safety
+    /// No concurrent access to vertex `v`'s row.
+    pub unsafe fn set_neighbors(&self, v: u32, list: &[u32]) {
+        assert!(
+            list.len() <= self.max_degree,
+            "degree {} exceeds bound {}",
+            list.len(),
+            self.max_degree
+        );
+        let start = v as usize * self.max_degree;
+        self.edges.copy_from_slice(start, list);
+        self.counts.write(v as usize, list.len() as u32);
+    }
+
+    /// Reads the out-neighborhood of `v`.
+    ///
+    /// # Safety
+    /// No concurrent writer to vertex `v`'s row.
+    pub unsafe fn neighbors(&self, v: u32) -> &[u32] {
+        let start = v as usize * self.max_degree;
+        let count = *self
+            .counts
+            .slice_mut(v as usize, 1)
+            .first()
+            .expect("count slot");
+        &self.edges.slice_mut(start, count as usize)[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn set_and_read_neighbors() {
+        let mut g = FlatGraph::new(4, 3);
+        g.set_neighbors(0, &[1, 2]);
+        g.set_neighbors(3, &[0]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.num_edges(), 3);
+        assert!((g.avg_degree() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bound")]
+    fn rejects_overfull_row() {
+        let mut g = FlatGraph::new(2, 1);
+        g.set_neighbors(0, &[1, 1]);
+    }
+
+    #[test]
+    fn overwrite_shrinks_row() {
+        let mut g = FlatGraph::new(2, 4);
+        g.set_neighbors(0, &[1, 1, 1]);
+        g.set_neighbors(0, &[0]);
+        assert_eq!(g.neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn parallel_writer_disjoint_rows() {
+        let n = 5000;
+        let mut g = FlatGraph::new(n, 4);
+        {
+            let w = g.writer();
+            (0..n as u32).into_par_iter().for_each(|v| unsafe {
+                w.set_neighbors(v, &[v.wrapping_add(1) % n as u32]);
+            });
+        }
+        for v in 0..n as u32 {
+            assert_eq!(g.neighbors(v), &[v.wrapping_add(1) % n as u32]);
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs() {
+        let mut a = FlatGraph::new(10, 4);
+        let mut b = FlatGraph::new(10, 4);
+        a.set_neighbors(0, &[1, 2]);
+        b.set_neighbors(0, &[1, 2]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.set_neighbors(0, &[2, 1]); // order matters
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = FlatGraph::new(10, 4);
+        c.set_neighbors(1, &[1, 2]); // placement matters
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -1,0 +1,243 @@
+//! Index persistence.
+//!
+//! Determinism makes persistence trivial to validate: a saved-and-reloaded
+//! index is bit-identical to the original (same fingerprint), and two
+//! machines building from the same seed produce interchangeable files —
+//! one of the paper's motivations ("persistence, crash recovery, or
+//! replication ... for vector databases", §1).
+//!
+//! Format (little-endian, version-tagged):
+//! `magic "PANN" | version u32 | metric u8 | dim u64 | n u64 | start u32 |
+//!  max_degree u64 | counts[n] u32 | edges[n*R] u32 | elem-tag u8 | points`.
+
+use crate::diskann::VamanaIndex;
+use crate::graph::FlatGraph;
+use crate::stats::BuildStats;
+use ann_data::io::BinaryElem;
+use ann_data::{Metric, PointSet};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PANN";
+const VERSION: u32 = 1;
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::SquaredEuclidean => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    }
+}
+
+fn metric_from_tag(t: u8) -> io::Result<Metric> {
+    Ok(match t {
+        0 => Metric::SquaredEuclidean,
+        1 => Metric::InnerProduct,
+        2 => Metric::Cosine,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown metric tag {other}"),
+            ))
+        }
+    })
+}
+
+fn write_u32s(w: &mut impl Write, xs: &[u32]) -> io::Result<()> {
+    // Row-by-row encode keeps the writer allocation-free.
+    let mut buf = [0u8; 4];
+    for &x in xs {
+        buf.copy_from_slice(&x.to_le_bytes());
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+fn read_u32s(r: &mut impl Read, n: usize) -> io::Result<Vec<u32>> {
+    let mut raw = vec![0u8; n * 4];
+    r.read_exact(&mut raw)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Writes a graph's adjacency (used standalone and by index save).
+pub fn write_graph(w: &mut impl Write, graph: &FlatGraph) -> io::Result<()> {
+    w.write_all(&(graph.len() as u64).to_le_bytes())?;
+    w.write_all(&(graph.max_degree() as u64).to_le_bytes())?;
+    let counts: Vec<u32> = (0..graph.len() as u32)
+        .map(|v| graph.degree(v) as u32)
+        .collect();
+    write_u32s(w, &counts)?;
+    for v in 0..graph.len() as u32 {
+        write_u32s(w, graph.neighbors(v))?;
+    }
+    Ok(())
+}
+
+/// Reads a graph written by [`write_graph`].
+pub fn read_graph(r: &mut impl Read) -> io::Result<FlatGraph> {
+    let mut h = [0u8; 8];
+    r.read_exact(&mut h)?;
+    let n = u64::from_le_bytes(h) as usize;
+    r.read_exact(&mut h)?;
+    let max_degree = u64::from_le_bytes(h) as usize;
+    let counts = read_u32s(r, n)?;
+    let mut graph = FlatGraph::new(n, max_degree);
+    for (v, &c) in counts.iter().enumerate() {
+        let row = read_u32s(r, c as usize)?;
+        graph.set_neighbors(v as u32, &row);
+    }
+    Ok(graph)
+}
+
+impl<T: BinaryElem> VamanaIndex<T> {
+    /// Saves the index (graph + vectors + metadata) to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&[metric_tag(self.metric)])?;
+        let points = self.points();
+        w.write_all(&(points.dim() as u64).to_le_bytes())?;
+        w.write_all(&(points.len() as u64).to_le_bytes())?;
+        w.write_all(&self.start.to_le_bytes())?;
+        write_graph(&mut w, &self.graph)?;
+        w.write_all(&[T::WIDTH as u8])?;
+        let mut buf = vec![0u8; T::WIDTH];
+        for &x in points.as_flat() {
+            x.encode(&mut buf);
+            w.write_all(&buf)?;
+        }
+        w.flush()
+    }
+
+    /// Loads an index written by [`Self::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut v4 = [0u8; 4];
+        r.read_exact(&mut v4)?;
+        let version = u32::from_le_bytes(v4);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported version {version}"),
+            ));
+        }
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let metric = metric_from_tag(tag[0])?;
+        let mut h = [0u8; 8];
+        r.read_exact(&mut h)?;
+        let dim = u64::from_le_bytes(h) as usize;
+        r.read_exact(&mut h)?;
+        let n = u64::from_le_bytes(h) as usize;
+        r.read_exact(&mut v4)?;
+        let start = u32::from_le_bytes(v4);
+        let graph = read_graph(&mut r)?;
+        if graph.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "graph/point count mismatch",
+            ));
+        }
+        r.read_exact(&mut tag)?;
+        if tag[0] as usize != T::WIDTH {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "element width mismatch: file {} vs requested {}",
+                    tag[0],
+                    T::WIDTH
+                ),
+            ));
+        }
+        let mut raw = vec![0u8; n * dim * T::WIDTH];
+        r.read_exact(&mut raw)?;
+        let data: Vec<T> = raw.chunks_exact(T::WIDTH).map(T::decode).collect();
+        Ok(VamanaIndex::from_parts(
+            graph,
+            start,
+            metric,
+            BuildStats::default(),
+            PointSet::new(data, dim),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::QueryParams;
+    use crate::diskann::VamanaParams;
+    use ann_data::bigann_like;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parlayann-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let mut g = FlatGraph::new(5, 3);
+        g.set_neighbors(0, &[1, 2]);
+        g.set_neighbors(4, &[0]);
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let back = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.fingerprint(), g.fingerprint());
+        assert_eq!(back.max_degree(), 3);
+    }
+
+    #[test]
+    fn index_roundtrip_preserves_everything() {
+        let data = bigann_like(600, 10, 77);
+        let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+        let path = tmp("idx.pann");
+        index.save(&path).unwrap();
+        let loaded = VamanaIndex::<u8>::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.graph.fingerprint(), index.graph.fingerprint());
+        assert_eq!(loaded.start, index.start);
+        assert_eq!(loaded.metric, index.metric);
+        assert_eq!(loaded.points(), index.points());
+        // Identical search behaviour.
+        let qp = QueryParams::default();
+        for q in 0..5 {
+            assert_eq!(
+                index.search(data.queries.point(q), &qp).0,
+                loaded.search(data.queries.point(q), &qp).0
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_element_type_is_rejected() {
+        let data = bigann_like(100, 1, 7);
+        let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+        let path = tmp("idx2.pann");
+        index.save(&path).unwrap();
+        let err = match VamanaIndex::<f32>::load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("loading with the wrong element type must fail"),
+        };
+        std::fs::remove_file(&path).unwrap();
+        assert!(err.to_string().contains("width mismatch"));
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let path = tmp("bad.pann");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(VamanaIndex::<u8>::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

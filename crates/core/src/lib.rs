@@ -1,0 +1,69 @@
+//! # parlayann — deterministic parallel graph-based ANNS
+//!
+//! A from-scratch Rust implementation of the four graph-based approximate
+//! nearest-neighbor algorithms of *ParlayANN: Scalable and Deterministic
+//! Parallel Graph-Based Approximate Nearest Neighbor Search Algorithms*
+//! (PPoPP 2024): DiskANN/Vamana, HNSW, HCNNG, and PyNNDescent, all built
+//! lock-free on the prefix-doubling + semisort machinery of §3.
+//!
+//! Every index build is **deterministic**: the same input and seed produce
+//! a bit-identical graph ([`graph::FlatGraph::fingerprint`]) for any number
+//! of worker threads. No locks are used anywhere in this crate.
+//!
+//! ```
+//! use ann_data::{bigann_like, compute_ground_truth, recall_ids};
+//! use parlayann::{VamanaIndex, VamanaParams, QueryParams};
+//!
+//! let data = bigann_like(2_000, 20, 42);
+//! let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+//! let params = QueryParams { beam: 32, ..QueryParams::default() };
+//! let results: Vec<Vec<u32>> = (0..data.queries.len())
+//!     .map(|q| index.search(data.queries.point(q), &params).0
+//!         .into_iter().map(|(id, _)| id).collect())
+//!     .collect();
+//! let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
+//! assert!(recall_ids(&gt, &results, 10, 10) > 0.8);
+//! ```
+
+pub mod analysis;
+pub mod beam;
+pub mod builder;
+pub mod cluster;
+pub mod diskann;
+pub mod graph;
+pub mod hcnng;
+pub mod hnsw;
+pub mod io;
+pub mod medoid;
+pub mod params;
+pub mod prune;
+pub mod pynndescent;
+pub mod range;
+pub mod stats;
+pub mod visited;
+
+pub use beam::{beam_search, QueryParams, VisitedMode};
+pub use builder::{incremental_build, BuildParams};
+pub use diskann::{VamanaIndex, VamanaParams};
+pub use hcnng::{HcnngIndex, HcnngParams};
+pub use hnsw::{HnswIndex, HnswParams};
+pub use graph::FlatGraph;
+pub use medoid::medoid;
+pub use prune::{heuristic_prune, robust_prune};
+pub use pynndescent::{PyNNDescentIndex, PyNNDescentParams};
+pub use range::{range_search, RangeParams};
+pub use stats::{BuildStats, SearchStats};
+
+use ann_data::VectorElem;
+
+/// Common query interface implemented by every index in this workspace
+/// (the four graph algorithms here and the IVF/LSH baselines), so the
+/// benchmark harness can sweep them uniformly.
+pub trait AnnIndex<T: VectorElem>: Sync {
+    /// Returns up to `params.k` `(id, distance)` pairs, closest first, plus
+    /// per-query search statistics.
+    fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats);
+
+    /// Short display name for experiment tables.
+    fn name(&self) -> String;
+}

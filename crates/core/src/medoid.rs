@@ -1,0 +1,91 @@
+//! Deterministic medoid computation.
+//!
+//! DiskANN (and our HCNNG search) starts every greedy search from the
+//! corpus medoid: the point nearest the centroid. Both steps use
+//! deterministic fixed-order reductions so the start point — and hence the
+//! whole index — is identical across thread counts.
+
+use ann_data::{PointSet, VectorElem};
+use parlay::min_index_by;
+
+/// The index of the point closest (in L2) to the corpus centroid, ties
+/// broken toward the smallest id.
+///
+/// The centroid/medoid is computed under L2 regardless of the query metric,
+/// matching ParlayANN (a start point only needs to be *central*, and L2
+/// centrality is well-defined for every element type).
+pub fn medoid<T: VectorElem>(points: &PointSet<T>) -> u32 {
+    assert!(!points.is_empty(), "medoid of empty point set");
+    let centroid: Vec<f32> = points.centroid_f64().iter().map(|&x| x as f32).collect();
+    let idx: Vec<u32> = (0..points.len() as u32).collect();
+    let best = min_index_by(&idx, |&i| {
+        let p = points.point(i as usize);
+        let mut s = 0.0f32;
+        for (x, &c) in p.iter().zip(&centroid) {
+            let d = x.to_f32() - c;
+            s += d * d;
+        }
+        // Key includes id for deterministic tie-breaks.
+        (ordered(s), i)
+    })
+    .expect("nonempty");
+    idx[best]
+}
+
+/// Total-order key for an `f32` (distances are never NaN).
+#[inline]
+fn ordered(x: f32) -> u32 {
+    // Monotone map from non-negative f32 to u32.
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::bigann_like;
+
+    #[test]
+    fn picks_central_point() {
+        // Points on a line: medoid of {0, 1, 2, 3, 4} is 2.
+        let points = PointSet::from_rows(
+            &(0..5).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>(),
+        );
+        assert_eq!(medoid(&points), 2);
+    }
+
+    #[test]
+    fn tie_breaks_to_smaller_id() {
+        // Two points equidistant from the centroid.
+        let points = PointSet::from_rows(&[vec![-1.0f32], vec![1.0f32]]);
+        assert_eq!(medoid(&points), 0);
+    }
+
+    #[test]
+    fn deterministic_across_pools() {
+        let d = bigann_like(5_000, 1, 7);
+        let a = parlay::with_threads(1, || medoid(&d.points));
+        let b = parlay::with_threads(2, || medoid(&d.points));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn medoid_beats_random_point_on_centrality() {
+        let d = bigann_like(2_000, 1, 9);
+        let m = medoid(&d.points);
+        let centroid: Vec<f32> = d.points.centroid_f64().iter().map(|&x| x as f32).collect();
+        let dist_to_centroid = |i: u32| {
+            d.points
+                .point(i as usize)
+                .iter()
+                .zip(&centroid)
+                .map(|(x, &c)| (x.to_f32() - c).powi(2))
+                .sum::<f32>()
+        };
+        let dm = dist_to_centroid(m);
+        // The medoid must not be farther from the centroid than any of a
+        // few arbitrary sample points.
+        for i in [0u32, 17, 523, 1999] {
+            assert!(dm <= dist_to_centroid(i));
+        }
+    }
+}

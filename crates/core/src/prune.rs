@@ -1,0 +1,248 @@
+//! Neighborhood pruning rules.
+//!
+//! Pruning selects at most `R` out-neighbors from a candidate pool so that
+//! the neighborhood covers "a diverse range of edge lengths and directions"
+//! (paper §3.1). Two rules are implemented:
+//!
+//! * [`robust_prune`] — the α-pruning of NSG/DiskANN (§4.1): repeatedly keep
+//!   the closest remaining candidate `p*` and drop every candidate `p'`
+//!   with `α · d(p*, p') ≤ d(p, p')` — removing the long edge of every
+//!   triangle. `α > 1` keeps more long edges (denser graph).
+//! * [`heuristic_prune`] — HNSW's neighbor-selection heuristic (§4.2):
+//!   keep a candidate only if it is closer to `p` than (α times) its
+//!   distance to every already-kept neighbor, optionally back-filling with
+//!   pruned candidates (`keep_pruned`, as in hnswlib).
+
+use ann_data::{distance, Metric, PointSet, VectorElem};
+
+/// Sorts candidates by `(distance, id)`, removing `p` itself and duplicates.
+fn normalize(p: u32, candidates: &mut Vec<(u32, f32)>) {
+    candidates.retain(|&(id, _)| id != p);
+    candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    candidates.dedup_by_key(|&mut (id, _)| id);
+}
+
+/// DiskANN/NSG α-prune. `candidates` holds `(id, distance-to-p)` pairs in
+/// any order; returns at most `degree_bound` ids. `dist_comps` is
+/// incremented for every distance evaluated.
+pub fn robust_prune<T: VectorElem>(
+    p: u32,
+    mut candidates: Vec<(u32, f32)>,
+    points: &PointSet<T>,
+    metric: Metric,
+    alpha: f32,
+    degree_bound: usize,
+    dist_comps: &mut usize,
+) -> Vec<u32> {
+    normalize(p, &mut candidates);
+    let mut result: Vec<u32> = Vec::with_capacity(degree_bound);
+    let mut alive = vec![true; candidates.len()];
+    for i in 0..candidates.len() {
+        if !alive[i] {
+            continue;
+        }
+        let (star, _) = candidates[i];
+        result.push(star);
+        if result.len() == degree_bound {
+            break;
+        }
+        let star_pt = points.point(star as usize);
+        for j in (i + 1)..candidates.len() {
+            if !alive[j] {
+                continue;
+            }
+            let (cand, d_p_cand) = candidates[j];
+            let d_star_cand = distance(star_pt, points.point(cand as usize), metric);
+            *dist_comps += 1;
+            if alpha * d_star_cand <= d_p_cand {
+                alive[j] = false;
+            }
+        }
+    }
+    result
+}
+
+/// HNSW neighbor-selection heuristic with an α density knob: keep candidate
+/// `c` iff `d(p, c) < α · d(c, s)` for every already-selected `s`.
+/// With `α = 1` this is hnswlib's `getNeighborsByHeuristic2`; `α < 1`
+/// prunes more aggressively (sparser graph), matching the paper's use of
+/// α to equalize average degrees across algorithms (Fig. 7).
+pub fn heuristic_prune<T: VectorElem>(
+    p: u32,
+    mut candidates: Vec<(u32, f32)>,
+    points: &PointSet<T>,
+    metric: Metric,
+    alpha: f32,
+    degree_bound: usize,
+    keep_pruned: bool,
+    dist_comps: &mut usize,
+) -> Vec<u32> {
+    normalize(p, &mut candidates);
+    let mut selected: Vec<(u32, f32)> = Vec::with_capacity(degree_bound);
+    let mut discarded: Vec<u32> = Vec::new();
+    for &(cand, d_p_cand) in &candidates {
+        if selected.len() >= degree_bound {
+            break;
+        }
+        let cand_pt = points.point(cand as usize);
+        let mut good = true;
+        for &(s, _) in &selected {
+            let d_cand_s = distance(cand_pt, points.point(s as usize), metric);
+            *dist_comps += 1;
+            if d_p_cand >= alpha * d_cand_s {
+                good = false;
+                break;
+            }
+        }
+        if good {
+            selected.push((cand, d_p_cand));
+        } else if keep_pruned {
+            discarded.push(cand);
+        }
+    }
+    let mut out: Vec<u32> = selected.into_iter().map(|(id, _)| id).collect();
+    if keep_pruned {
+        for id in discarded {
+            if out.len() >= degree_bound {
+                break;
+            }
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::PointSet;
+
+    fn with_dists<T: VectorElem>(
+        p: u32,
+        ids: &[u32],
+        points: &PointSet<T>,
+        metric: Metric,
+    ) -> Vec<(u32, f32)> {
+        ids.iter()
+            .map(|&id| {
+                (
+                    id,
+                    distance(points.point(p as usize), points.point(id as usize), metric),
+                )
+            })
+            .collect()
+    }
+
+    /// p at origin; a near point in +x; a far point almost behind the near
+    /// one (the long triangle edge must be pruned); a far point in +y
+    /// (a different direction — must survive).
+    #[test]
+    fn prunes_long_triangle_edges_keeps_directions() {
+        let points = PointSet::from_rows(&[
+            vec![0.0f32, 0.0], // 0 = p
+            vec![1.0, 0.0],    // 1 near +x
+            vec![3.0, 0.1],    // 2 far, same direction as 1
+            vec![0.0, 3.0],    // 3 far, +y
+        ]);
+        let m = Metric::SquaredEuclidean;
+        let cands = with_dists(0, &[1, 2, 3], &points, m);
+        let mut dc = 0;
+        let out = robust_prune(0, cands, &points, m, 1.0, 8, &mut dc);
+        assert!(out.contains(&1));
+        assert!(out.contains(&3), "different direction must survive");
+        assert!(!out.contains(&2), "long edge of the triangle must be pruned");
+        assert!(dc > 0);
+    }
+
+    #[test]
+    fn alpha_greater_keeps_more_edges() {
+        // Line of points: stricter alpha=1 prunes transitively; alpha=2 keeps more.
+        let points = PointSet::from_rows(
+            &(0..8).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>(),
+        );
+        let m = Metric::SquaredEuclidean;
+        let ids: Vec<u32> = (1..8).collect();
+        let mut dc = 0;
+        let tight = robust_prune(0, with_dists(0, &ids, &points, m), &points, m, 1.0, 8, &mut dc);
+        let loose = robust_prune(0, with_dists(0, &ids, &points, m), &points, m, 2.0, 8, &mut dc);
+        assert!(loose.len() >= tight.len());
+        assert!(tight.contains(&1));
+    }
+
+    #[test]
+    fn respects_degree_bound_and_orders_closest_first() {
+        let points = PointSet::from_rows(
+            &(0..20).map(|i| vec![i as f32 * i as f32, 1.0]).collect::<Vec<_>>(),
+        );
+        let m = Metric::SquaredEuclidean;
+        let ids: Vec<u32> = (1..20).collect();
+        let mut dc = 0;
+        // alpha huge => nothing pruned by the rule; bound must cap output.
+        let out = robust_prune(0, with_dists(0, &ids, &points, m), &points, m, 1e9, 5, &mut dc);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0], 1, "closest candidate is always kept first");
+    }
+
+    #[test]
+    fn removes_self_and_duplicates() {
+        let points = PointSet::from_rows(&[vec![0.0f32], vec![1.0], vec![2.0]]);
+        let m = Metric::SquaredEuclidean;
+        let cands = vec![(0u32, 0.0f32), (1, 1.0), (1, 1.0), (2, 4.0)];
+        let mut dc = 0;
+        let out = robust_prune(0, cands, &points, m, 2.0, 8, &mut dc);
+        assert!(!out.contains(&0));
+        assert_eq!(out.iter().filter(|&&x| x == 1).count(), 1);
+    }
+
+    #[test]
+    fn heuristic_prunes_shadowed_candidates() {
+        let points = PointSet::from_rows(&[
+            vec![0.0f32, 0.0], // p
+            vec![1.0, 0.0],    // near
+            vec![1.4, 0.0],    // shadowed by near point (closer to it than to p)
+            vec![0.0, 2.0],    // new direction
+        ]);
+        let m = Metric::SquaredEuclidean;
+        let cands = with_dists(0, &[1, 2, 3], &points, m);
+        let mut dc = 0;
+        let out = heuristic_prune(0, cands, &points, m, 1.0, 8, false, &mut dc);
+        assert!(out.contains(&1));
+        assert!(out.contains(&3));
+        assert!(!out.contains(&2));
+    }
+
+    #[test]
+    fn keep_pruned_backfills_to_bound() {
+        let points = PointSet::from_rows(&[
+            vec![0.0f32, 0.0],
+            vec![1.0, 0.0],
+            vec![1.4, 0.0],
+            vec![1.8, 0.0],
+        ]);
+        let m = Metric::SquaredEuclidean;
+        let cands = with_dists(0, &[1, 2, 3], &points, m);
+        let mut dc = 0;
+        let without = heuristic_prune(0, cands.clone(), &points, m, 1.0, 3, false, &mut dc);
+        let with = heuristic_prune(0, cands, &points, m, 1.0, 3, true, &mut dc);
+        assert!(without.len() < 3);
+        assert_eq!(with.len(), 3, "keep_pruned fills the quota");
+        assert_eq!(&with[..without.len()], &without[..]);
+    }
+
+    #[test]
+    fn deterministic_under_candidate_order() {
+        let points = PointSet::from_rows(
+            &(0..30).map(|i| vec![(i as f32).sin() * 10.0, (i as f32).cos() * 10.0]).collect::<Vec<_>>(),
+        );
+        let m = Metric::SquaredEuclidean;
+        let ids: Vec<u32> = (1..30).collect();
+        let fwd = with_dists(0, &ids, &points, m);
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let mut dc = 0;
+        assert_eq!(
+            robust_prune(0, fwd, &points, m, 1.2, 6, &mut dc),
+            robust_prune(0, rev, &points, m, 1.2, 6, &mut dc)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Search and build statistics.
+//!
+//! The paper reports distance comparisons per query alongside QPS
+//! (Fig. 3d–f, Fig. 6c): for high-dimensional points, distance evaluations
+//! dominate cost, so they are a machine-independent efficiency measure.
+
+/// Per-query statistics from a beam search (or baseline scan).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of distance evaluations performed.
+    pub dist_comps: usize,
+    /// Number of vertices whose neighborhood was expanded (beam-search hops),
+    /// or probes/lists scanned for the non-graph baselines.
+    pub hops: usize,
+}
+
+impl SearchStats {
+    /// Accumulates another query's stats (for averaging over a query set).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.dist_comps += other.dist_comps;
+        self.hops += other.hops;
+    }
+}
+
+/// Statistics from an index build.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Wall-clock build time in seconds.
+    pub seconds: f64,
+    /// Total distance evaluations during construction.
+    pub dist_comps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SearchStats {
+            dist_comps: 3,
+            hops: 1,
+        };
+        a.merge(&SearchStats {
+            dist_comps: 4,
+            hops: 2,
+        });
+        assert_eq!(a.dist_comps, 7);
+        assert_eq!(a.hops, 3);
+    }
+}

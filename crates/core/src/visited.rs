@@ -1,0 +1,144 @@
+//! Approximate visited-set hash table (paper §4.5).
+//!
+//! Beam search must test "have I already added this vertex?" for every edge
+//! it scans. The paper replaces an exact set with an *approximate hash
+//! table with one-sided errors*: open addressing with a single slot per
+//! position and overwrite-on-collision. A lookup can say "not seen" for a
+//! vertex that was seen (it was evicted — the vertex is simply revisited),
+//! but never "seen" for an unseen vertex, so correctness is unaffected.
+//! The table is sized at the square of the beam width: collisions are rare
+//! and the table fits in L1 cache. The paper credits this with a 28.6–44.5%
+//! search speedup; the `ablations` experiment reproduces the comparison.
+
+use parlay::hash64;
+
+const EMPTY: u32 = u32::MAX;
+
+/// Approximate membership filter over `u32` ids with one-sided error.
+pub struct ApproxFilter {
+    slots: Vec<u32>,
+    mask: u64,
+}
+
+impl ApproxFilter {
+    /// A filter sized for a beam of width `beam` (table size `beam²`,
+    /// rounded to a power of two and clamped to `[64, 2¹⁶]`).
+    pub fn for_beam(beam: usize) -> Self {
+        let size = (beam * beam).next_power_of_two().clamp(64, 1 << 16);
+        ApproxFilter {
+            slots: vec![EMPTY; size],
+            mask: (size - 1) as u64,
+        }
+    }
+
+    /// Inserts `id`; returns `true` if `id` was already present.
+    /// On collision the previous occupant is evicted (one-sided error).
+    #[inline]
+    pub fn test_and_insert(&mut self, id: u32) -> bool {
+        let slot = (hash64(id as u64) & self.mask) as usize;
+        if self.slots[slot] == id {
+            true
+        } else {
+            self.slots[slot] = id;
+            false
+        }
+    }
+
+    /// Membership test without insertion.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let slot = (hash64(id as u64) & self.mask) as usize;
+        self.slots[slot] == id
+    }
+}
+
+/// Exact or approximate visited filter; the exact variant exists for the
+/// §4.5 ablation (and as a reference implementation for tests).
+pub enum VisitedFilter {
+    /// The paper's approximate table.
+    Approx(ApproxFilter),
+    /// An exact hash set.
+    Exact(std::collections::HashSet<u32>),
+}
+
+impl VisitedFilter {
+    /// Builds the filter variant requested by the query parameters.
+    pub fn new(approx: bool, beam: usize) -> Self {
+        if approx {
+            VisitedFilter::Approx(ApproxFilter::for_beam(beam))
+        } else {
+            VisitedFilter::Exact(std::collections::HashSet::with_capacity(4 * beam))
+        }
+    }
+
+    /// Inserts `id`; returns whether it was already present.
+    #[inline]
+    pub fn test_and_insert(&mut self, id: u32) -> bool {
+        match self {
+            VisitedFilter::Approx(f) => f.test_and_insert(id),
+            VisitedFilter::Exact(s) => !s.insert(id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_reports_unseen_as_seen() {
+        let mut f = ApproxFilter::for_beam(16);
+        for id in 0..10_000u32 {
+            assert!(!f.contains(id) || false, "fresh id must not be present");
+            // test_and_insert on a fresh id may only return true if that id
+            // is literally stored — impossible before insertion.
+            let seen = f.test_and_insert(id);
+            assert!(!seen, "one-sided error violated for id {id}");
+        }
+    }
+
+    #[test]
+    fn remembers_until_evicted() {
+        let mut f = ApproxFilter::for_beam(64);
+        f.test_and_insert(7);
+        assert!(f.contains(7));
+        assert!(f.test_and_insert(7));
+    }
+
+    #[test]
+    fn eviction_causes_revisit_not_corruption() {
+        // Force collisions with a tiny table.
+        let mut f = ApproxFilter {
+            slots: vec![EMPTY; 64],
+            mask: 63,
+        };
+        // Insert many ids; earlier ones may be evicted. Re-inserting an
+        // evicted id returns false (treated as unseen) — a revisit.
+        for id in 0..1000u32 {
+            f.test_and_insert(id);
+        }
+        let revisits = (0..1000u32).filter(|&id| !f.contains(id)).count();
+        assert!(revisits > 0, "expected evictions in a 64-slot table");
+        // But anything it claims to contain really was inserted.
+        for slot in &f.slots {
+            if *slot != EMPTY {
+                assert!(*slot < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn table_size_scales_with_beam() {
+        let small = ApproxFilter::for_beam(8);
+        let big = ApproxFilter::for_beam(128);
+        assert!(small.slots.len() >= 64);
+        assert_eq!(big.slots.len(), (128usize * 128).next_power_of_two());
+    }
+
+    #[test]
+    fn exact_filter_matches_hashset_semantics() {
+        let mut f = VisitedFilter::new(false, 8);
+        assert!(!f.test_and_insert(3));
+        assert!(f.test_and_insert(3));
+    }
+}

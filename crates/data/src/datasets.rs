@@ -1,0 +1,305 @@
+//! Deterministic synthetic stand-ins for the paper's datasets.
+//!
+//! The paper evaluates on BIGANN (SIFT image descriptors, 128-d `u8`),
+//! MSSPACEV (Bing web documents/queries, 100-d `i8`), and TEXT2IMAGE
+//! (SeResNext image embeddings queried by DSSM *text* embeddings — the
+//! out-of-distribution dataset; 200-d `f32`, inner-product metric).
+//!
+//! The generators here reproduce each dataset's *structural* properties —
+//! element type, dimensionality, clustered geometry, query distribution —
+//! from a seed, so every experiment is reproducible without the
+//! multi-hundred-GB downloads (see DESIGN.md §3 for the substitution
+//! rationale). Real data in `fvecs`/`bvecs`/`.bin` formats can be loaded
+//! with [`crate::io`] instead.
+
+use crate::distance::Metric;
+use crate::point::{PointSet, VectorElem};
+use parlay::{tabulate, Random};
+
+/// A benchmark instance: corpus, queries, and the metric to use.
+#[derive(Clone, Debug)]
+pub struct Dataset<T> {
+    /// The indexed corpus.
+    pub points: PointSet<T>,
+    /// Query vectors (never members of the corpus).
+    pub queries: PointSet<T>,
+    /// Distance function the dataset is evaluated under.
+    pub metric: Metric,
+    /// Human-readable name used in experiment output.
+    pub name: String,
+}
+
+/// Parameters of the clustered Gaussian-mixture generator.
+#[derive(Clone, Copy, Debug)]
+pub struct MixtureParams {
+    /// Dimensionality.
+    pub dim: usize,
+    /// Number of mixture components.
+    pub clusters: usize,
+    /// Half-width of the cube cluster centers are drawn from.
+    pub center_scale: f32,
+    /// Additive offset applied to every center coordinate (recenters
+    /// unsigned element types into their representable range).
+    pub center_offset: f32,
+    /// Per-coordinate Gaussian noise around the center.
+    pub sigma: f32,
+    /// Fraction of points drawn from a broad background component instead
+    /// of a cluster (real embedding corpora are clustered but connected;
+    /// without this, k-NN graphs fragment into per-cluster islands).
+    pub background_frac: f64,
+}
+
+/// Draws `n` points from a mixture defined by (`rng`, `params`).
+///
+/// Point `i`'s cluster and noise depend only on (`seed`, `i`), so any prefix
+/// of a larger generated set equals the smaller generated set — which the
+/// dataset-size-scaling experiment (paper Fig. 6) relies on.
+pub fn mixture_points<T: VectorElem>(n: usize, rng: Random, params: MixtureParams) -> PointSet<T> {
+    let centers: Vec<f32> = {
+        let crng = rng.fork(0);
+        (0..params.clusters * params.dim)
+            .map(|j| {
+                params.center_offset
+                    + (crng.ith_unit_f64(j as u64) as f32 * 2.0 - 1.0) * params.center_scale
+            })
+            .collect()
+    };
+    let prng = rng.fork(1);
+    let dim = params.dim;
+    let data: Vec<T> = tabulate(n * dim, |idx| {
+        let i = idx / dim;
+        let j = idx % dim;
+        let is_bg = prng.ith_unit_f64(i as u64 + 0x40_0000) < params.background_frac;
+        let noise = prng.ith_normal((i * dim + j) as u64 + 0x10_0000) as f32;
+        if is_bg {
+            // Broad background component centered on the corpus mean.
+            T::from_f32(params.center_offset + noise * params.center_scale * 0.7)
+        } else {
+            let c = prng.ith_range(i as u64, params.clusters as u64) as usize;
+            T::from_f32(centers[c * dim + j] + noise * params.sigma)
+        }
+    });
+    PointSet::new(data, dim)
+}
+
+/// BIGANN-like corpus: 128-d `u8` SIFT-style descriptors, squared-L2,
+/// in-distribution queries drawn from the same mixture.
+pub fn bigann_like(n: usize, num_queries: usize, seed: u64) -> Dataset<u8> {
+    let params = MixtureParams {
+        dim: 128,
+        clusters: cluster_count(n),
+        center_scale: 90.0,
+        center_offset: 128.0,
+        sigma: 18.0,
+        background_frac: 0.15,
+    };
+    let rng = Random::new(seed ^ 0xb16a);
+    // Queries are held-out points of the same mixture (shared centers,
+    // disjoint noise stream) — in-distribution, like the real benchmark.
+    let points = mixture_points::<u8>(n, rng.fork(10), params);
+    let queries = heldout_queries::<u8>(num_queries, rng.fork(10), params);
+    Dataset {
+        points,
+        queries,
+        metric: Metric::SquaredEuclidean,
+        name: format!("BIGANN-like({n})"),
+    }
+}
+
+/// MSSPACEV-like corpus: 100-d `i8`, squared-L2, in-distribution queries.
+pub fn msspacev_like(n: usize, num_queries: usize, seed: u64) -> Dataset<i8> {
+    let params = MixtureParams {
+        dim: 100,
+        clusters: cluster_count(n),
+        center_scale: 60.0,
+        center_offset: 0.0,
+        sigma: 14.0,
+        background_frac: 0.15,
+    };
+    let rng = Random::new(seed ^ 0x5bace);
+    let points = mixture_points::<i8>(n, rng.fork(10), params);
+    let queries = heldout_queries::<i8>(num_queries, rng.fork(10), params);
+    Dataset {
+        points,
+        queries,
+        metric: Metric::SquaredEuclidean,
+        name: format!("MSSPACEV-like({n})"),
+    }
+}
+
+/// TEXT2IMAGE-like corpus: 200-d `f32` under negative inner product, with
+/// **out-of-distribution** queries: the corpus models image embeddings
+/// (one mixture), the queries model text embeddings (a different mixture,
+/// shifted and broader), reproducing the paper's OOD challenge.
+pub fn text2image_like(n: usize, num_queries: usize, seed: u64) -> Dataset<f32> {
+    let corpus_params = MixtureParams {
+        dim: 200,
+        clusters: cluster_count(n),
+        center_scale: 1.0,
+        center_offset: 0.0,
+        sigma: 0.18,
+        background_frac: 0.10,
+    };
+    // Queries come from a different embedding model in the paper; here, a
+    // mixture with different (fewer, shifted, broader) components.
+    let query_params = MixtureParams {
+        dim: 200,
+        clusters: (cluster_count(n) / 3).max(2),
+        center_scale: 1.4,
+        center_offset: 0.6,
+        sigma: 0.35,
+        background_frac: 0.10,
+    };
+    let rng = Random::new(seed ^ 0x7e27);
+    let points = mixture_points::<f32>(n, rng.fork(10), corpus_params);
+    let queries = mixture_points::<f32>(num_queries, rng.fork(99), query_params);
+    Dataset {
+        points,
+        queries,
+        metric: Metric::InnerProduct,
+        name: format!("TEXT2IMAGE-like({n})"),
+    }
+}
+
+/// Cluster count heuristic: enough components that leaves/posting lists are
+/// meaningfully non-uniform, scaling slowly with n (as real corpora do).
+fn cluster_count(n: usize) -> usize {
+    ((n as f64).sqrt() as usize / 4).clamp(16, 4096)
+}
+
+/// Held-out queries from the *same* mixture as `rng` (shared centers,
+/// disjoint noise stream). Queries are drawn from the **cluster**
+/// components only: the corpus' broad background component exists to keep
+/// k-NN graphs connected (as real corpora are), while benchmark queries —
+/// like BIGANN's — target populated regions.
+pub fn heldout_queries<T: VectorElem>(
+    num_queries: usize,
+    rng: Random,
+    params: MixtureParams,
+) -> PointSet<T> {
+    let centers: Vec<f32> = {
+        let crng = rng.fork(0);
+        (0..params.clusters * params.dim)
+            .map(|j| {
+                params.center_offset
+                    + (crng.ith_unit_f64(j as u64) as f32 * 2.0 - 1.0) * params.center_scale
+            })
+            .collect()
+    };
+    let qrng = rng.fork(2); // disjoint from the corpus stream fork(1)
+    let dim = params.dim;
+    let data: Vec<T> = tabulate(num_queries * dim, |idx| {
+        let i = idx / dim;
+        let j = idx % dim;
+        let noise = qrng.ith_normal((i * dim + j) as u64 + 0x20_0000) as f32;
+        let c = qrng.ith_range(i as u64, params.clusters as u64) as usize;
+        T::from_f32(centers[c * dim + j] + noise * params.sigma)
+    });
+    PointSet::new(data, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{distance, Metric};
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = bigann_like(500, 10, 42);
+        let b = bigann_like(500, 10, 42);
+        assert_eq!(a.points.as_flat(), b.points.as_flat());
+        assert_eq!(a.queries.as_flat(), b.queries.as_flat());
+        let c = bigann_like(500, 10, 43);
+        assert_ne!(a.points.as_flat(), c.points.as_flat());
+    }
+
+    #[test]
+    fn prefix_property_holds() {
+        // Generating n points then taking a prefix equals generating fewer.
+        let big = msspacev_like(400, 5, 7);
+        let small = msspacev_like(150, 5, 7);
+        assert_eq!(big.points.prefix(150).as_flat(), small.points.as_flat());
+    }
+
+    #[test]
+    fn shapes_match_paper() {
+        let b = bigann_like(100, 5, 1);
+        assert_eq!(b.points.dim(), 128);
+        assert_eq!(b.metric, Metric::SquaredEuclidean);
+        let m = msspacev_like(100, 5, 1);
+        assert_eq!(m.points.dim(), 100);
+        let t = text2image_like(100, 5, 1);
+        assert_eq!(t.points.dim(), 200);
+        assert_eq!(t.metric, Metric::InnerProduct);
+    }
+
+    #[test]
+    fn data_is_clustered_not_uniform() {
+        // Nearest-neighbor distance should be far below the average pairwise
+        // distance for clustered data.
+        let d = bigann_like(400, 1, 3);
+        let p0 = d.points.point(0);
+        let mut dists: Vec<f32> = (1..d.points.len())
+            .map(|i| distance(p0, d.points.point(i), Metric::SquaredEuclidean))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = dists[0];
+        let mean: f32 = dists.iter().sum::<f32>() / dists.len() as f32;
+        assert!(
+            min < mean * 0.5,
+            "expected clustered structure: min {min} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn ood_queries_are_farther_than_in_distribution() {
+        // The OOD property: average query-to-nearest-corpus-point distance is
+        // larger (relative to corpus internal spacing) for text2image-like
+        // than for an in-distribution dataset.
+        let t = text2image_like(600, 20, 5);
+        let nn_dist = |q: &[f32]| {
+            (0..t.points.len())
+                .map(|i| distance(q, t.points.point(i), Metric::SquaredEuclidean))
+                .fold(f32::INFINITY, f32::min)
+        };
+        let avg_query_nn: f32 = (0..t.queries.len())
+            .map(|qi| nn_dist(t.queries.point(qi)))
+            .sum::<f32>()
+            / t.queries.len() as f32;
+        let avg_corpus_nn: f32 = (0..20)
+            .map(|i| {
+                (0..t.points.len())
+                    .filter(|&j| j != i)
+                    .map(|j| distance(t.points.point(i), t.points.point(j), Metric::SquaredEuclidean))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .sum::<f32>()
+            / 20.0;
+        assert!(
+            avg_query_nn > avg_corpus_nn * 1.5,
+            "queries should be OOD: query-nn {avg_query_nn}, corpus-nn {avg_corpus_nn}"
+        );
+    }
+
+    #[test]
+    fn heldout_queries_share_centers() {
+        let params = MixtureParams {
+            dim: 16,
+            clusters: 4,
+            center_scale: 50.0,
+            center_offset: 0.0,
+            sigma: 1.0,
+            background_frac: 0.0,
+        };
+        let rng = Random::new(11);
+        let pts = mixture_points::<f32>(200, rng, params);
+        let qs = heldout_queries::<f32>(20, rng, params);
+        // Each query should be close to SOME corpus point (same mixture).
+        for qi in 0..qs.len() {
+            let min = (0..pts.len())
+                .map(|i| distance(qs.point(qi), pts.point(i), Metric::SquaredEuclidean))
+                .fold(f32::INFINITY, f32::min);
+            assert!(min < 16.0 * 9.0 * params.sigma * params.sigma * 4.0);
+        }
+    }
+}

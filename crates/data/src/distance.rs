@@ -1,0 +1,224 @@
+//! Distance kernels.
+//!
+//! Distance comparisons dominate ANNS cost (paper §5.5 measures them
+//! directly), so the kernels are written with four independent accumulators
+//! over fixed-order chunks: the compiler autovectorizes them, and the fixed
+//! order keeps `f32` results bit-identical regardless of parallelism (each
+//! pairwise distance is always computed by a single thread in a fixed order).
+//!
+//! For `u8`/`i8` inputs at the paper's dimensionalities (≤ 256), `f32`
+//! accumulation of integer products is exact (all intermediate values fit in
+//! 24 bits of mantissa), so quantized kernels are both fast and exact.
+
+use crate::point::VectorElem;
+
+/// The distance functions used across the paper's datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared L2 (monotone in L2; used by BIGANN and MSSPACEV).
+    SquaredEuclidean,
+    /// Negative inner product (TEXT2IMAGE minimizes `-<a,b>`).
+    InnerProduct,
+    /// `1 - cos(a, b)`.
+    Cosine,
+}
+
+impl Metric {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::SquaredEuclidean => "L2^2",
+            Metric::InnerProduct => "neg-IP",
+            Metric::Cosine => "cosine",
+        }
+    }
+}
+
+/// Distance between two vectors under `metric`. Smaller is more similar.
+#[inline]
+pub fn distance<T: VectorElem>(a: &[T], b: &[T], metric: Metric) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match metric {
+        Metric::SquaredEuclidean => squared_euclidean(a, b),
+        Metric::InnerProduct => -dot(a, b),
+        Metric::Cosine => {
+            let na = norm_squared(a).sqrt();
+            let nb = norm_squared(b).sqrt();
+            if na == 0.0 || nb == 0.0 {
+                1.0
+            } else {
+                1.0 - dot(a, b) / (na * nb)
+            }
+        }
+    }
+}
+
+/// Squared L2 norm of a vector.
+#[inline]
+pub fn norm_squared<T: VectorElem>(a: &[T]) -> f32 {
+    squared_euclidean_zero(a)
+}
+
+/// Squared Euclidean distance with 4-way unrolled accumulation.
+#[inline]
+pub fn squared_euclidean<T: VectorElem>(a: &[T], b: &[T]) -> f32 {
+    let n = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        let d0 = a[i].to_f32() - b[i].to_f32();
+        let d1 = a[i + 1].to_f32() - b[i + 1].to_f32();
+        let d2 = a[i + 2].to_f32() - b[i + 2].to_f32();
+        let d3 = a[i + 3].to_f32() - b[i + 3].to_f32();
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in chunks * 4..n {
+        let d = a[i].to_f32() - b[i].to_f32();
+        s += d * d;
+    }
+    s
+}
+
+#[inline]
+fn squared_euclidean_zero<T: VectorElem>(a: &[T]) -> f32 {
+    let n = a.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        let (d0, d1, d2, d3) = (
+            a[i].to_f32(),
+            a[i + 1].to_f32(),
+            a[i + 2].to_f32(),
+            a[i + 3].to_f32(),
+        );
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in chunks * 4..n {
+        let d = a[i].to_f32();
+        s += d * d;
+    }
+    s
+}
+
+/// Dot product with 4-way unrolled accumulation.
+#[inline]
+pub fn dot<T: VectorElem>(a: &[T], b: &[T]) -> f32 {
+    let n = a.len().min(b.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += a[i].to_f32() * b[i].to_f32();
+        s1 += a[i + 1].to_f32() * b[i + 1].to_f32();
+        s2 += a[i + 2].to_f32() * b[i + 2].to_f32();
+        s3 += a[i + 3].to_f32() * b[i + 3].to_f32();
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in chunks * 4..n {
+        s += a[i].to_f32() * b[i].to_f32();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_l2(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn l2_matches_naive_f32() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        let got = squared_euclidean(&a, &b);
+        let want = naive_l2(&a, &b);
+        assert!((got - want).abs() < 1e-4 * want.max(1.0));
+    }
+
+    #[test]
+    fn l2_exact_for_u8() {
+        let a: Vec<u8> = (0..128).map(|i| (i * 7 % 256) as u8).collect();
+        let b: Vec<u8> = (0..128).map(|i| (i * 13 % 256) as u8).collect();
+        let want: i64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let d = x as i64 - y as i64;
+                d * d
+            })
+            .sum();
+        assert_eq!(squared_euclidean(&a, &b), want as f32);
+    }
+
+    #[test]
+    fn l2_exact_for_i8() {
+        let a: Vec<i8> = (0..100).map(|i| ((i * 7) % 256 - 128) as i8).collect();
+        let b: Vec<i8> = (0..100).map(|i| ((i * 29) % 256 - 128) as i8).collect();
+        let want: i64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| {
+                let d = x as i64 - y as i64;
+                d * d
+            })
+            .sum();
+        assert_eq!(squared_euclidean(&a, &b), want as f32);
+    }
+
+    #[test]
+    fn l2_is_symmetric_and_zero_on_self() {
+        let a: Vec<f32> = (0..65).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..65).map(|i| (i as f32).sqrt()).collect();
+        assert_eq!(squared_euclidean(&a, &b), squared_euclidean(&b, &a));
+        assert_eq!(squared_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn inner_product_distance_prefers_aligned() {
+        let q = vec![1.0f32, 0.0];
+        let aligned = vec![2.0f32, 0.0];
+        let orthogonal = vec![0.0f32, 2.0];
+        assert!(
+            distance(&q, &aligned, Metric::InnerProduct)
+                < distance(&q, &orthogonal, Metric::InnerProduct)
+        );
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = vec![1.0f32, 0.0];
+        let b = vec![0.0f32, 1.0];
+        let c = vec![3.0f32, 0.0];
+        assert!((distance(&a, &b, Metric::Cosine) - 1.0).abs() < 1e-6);
+        assert!(distance(&a, &c, Metric::Cosine).abs() < 1e-6);
+        let zero = vec![0.0f32, 0.0];
+        assert_eq!(distance(&a, &zero, Metric::Cosine), 1.0);
+    }
+
+    #[test]
+    fn odd_lengths_hit_remainder_loop() {
+        for d in [1usize, 2, 3, 5, 7, 9] {
+            let a: Vec<f32> = (0..d).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..d).map(|i| (i + 1) as f32).collect();
+            assert_eq!(squared_euclidean(&a, &b), d as f32);
+        }
+    }
+
+    #[test]
+    fn norm_squared_matches_self_dot() {
+        let a: Vec<f32> = (0..33).map(|i| (i as f32) * 0.25).collect();
+        assert!((norm_squared(&a) - dot(&a, &a)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Exact k-NN ground truth and `k@k'` recall (paper Definitions 2.1–2.2).
+//!
+//! Ground truth is computed by parallel brute force: one task per query,
+//! a bounded binary max-heap over all corpus points. Ties are broken by id
+//! so the result is deterministic even when distances collide (common for
+//! quantized `u8`/`i8` data).
+
+use crate::distance::{distance, Metric};
+use crate::point::{PointSet, VectorElem};
+use parlay::tabulate;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Exact k-nearest-neighbor table for a query set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroundTruth {
+    /// Neighbors per query.
+    pub k: usize,
+    /// Row-major `num_queries × k` neighbor ids, each row sorted by
+    /// `(distance, id)` ascending.
+    pub ids: Vec<u32>,
+    /// Matching distances.
+    pub dists: Vec<f32>,
+}
+
+impl GroundTruth {
+    /// Number of queries.
+    pub fn num_queries(&self) -> usize {
+        self.ids.len() / self.k
+    }
+
+    /// The neighbor ids of query `q`.
+    pub fn neighbors(&self, q: usize) -> &[u32] {
+        &self.ids[q * self.k..(q + 1) * self.k]
+    }
+
+    /// The neighbor distances of query `q`.
+    pub fn distances(&self, q: usize) -> &[f32] {
+        &self.dists[q * self.k..(q + 1) * self.k]
+    }
+}
+
+/// Heap entry ordered by `(dist, id)` — the max element is the *worst*
+/// current neighbor, which is what a bounded k-NN heap evicts.
+#[derive(Clone, Copy, PartialEq)]
+struct HeapItem {
+    dist: f32,
+    id: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes exact ground truth by parallel brute force. `O(nq · n · d)`.
+pub fn compute_ground_truth<T: VectorElem>(
+    points: &PointSet<T>,
+    queries: &PointSet<T>,
+    k: usize,
+    metric: Metric,
+) -> GroundTruth {
+    let n = points.len();
+    let k = k.min(n);
+    assert!(k > 0, "k must be positive");
+    let per_query: Vec<Vec<HeapItem>> = tabulate(queries.len(), |qi| {
+        let q = queries.point(qi);
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        for i in 0..n {
+            let d = distance(q, points.point(i), metric);
+            let item = HeapItem { dist: d, id: i as u32 };
+            if heap.len() < k {
+                heap.push(item);
+            } else if item < *heap.peek().expect("nonempty") {
+                heap.pop();
+                heap.push(item);
+            }
+        }
+        let mut v = heap.into_vec();
+        v.sort();
+        v
+    });
+    let mut ids = Vec::with_capacity(queries.len() * k);
+    let mut dists = Vec::with_capacity(queries.len() * k);
+    for row in per_query {
+        for item in row {
+            ids.push(item.id);
+            dists.push(item.dist);
+        }
+    }
+    GroundTruth { k, ids, dists }
+}
+
+/// `k@k'` recall by id intersection (paper Def. 2.2): for each query, the
+/// fraction of the true `k` neighbors present among the first `k'` returned.
+///
+/// `results[q]` holds at least `k'` candidate ids in rank order (extra
+/// entries are ignored).
+pub fn recall_ids(gt: &GroundTruth, results: &[Vec<u32>], k: usize, k_prime: usize) -> f64 {
+    assert!(k <= gt.k, "ground truth has only {} neighbors", gt.k);
+    assert_eq!(results.len(), gt.num_queries());
+    let mut total = 0usize;
+    for (q, res) in results.iter().enumerate() {
+        let truth = &gt.neighbors(q)[..k];
+        let take = k_prime.min(res.len());
+        total += res[..take].iter().filter(|id| truth.contains(id)).count();
+    }
+    total as f64 / (k * results.len()) as f64
+}
+
+/// Tie-aware recall: a returned id counts if its distance is within the
+/// distance of the k-th true neighbor (plus an epsilon for float noise).
+/// This matches how big-ann-benchmarks scores datasets with duplicate
+/// distances.
+pub fn recall_with_dists(
+    gt: &GroundTruth,
+    results: &[Vec<(u32, f32)>],
+    k: usize,
+    k_prime: usize,
+) -> f64 {
+    assert!(k <= gt.k);
+    assert_eq!(results.len(), gt.num_queries());
+    let mut total = 0usize;
+    for (q, res) in results.iter().enumerate() {
+        let thresh = gt.distances(q)[k - 1];
+        let eps = 1e-6 * thresh.abs().max(1.0);
+        let take = k_prime.min(res.len());
+        total += res[..take]
+            .iter()
+            .filter(|&&(_, d)| d <= thresh + eps)
+            .count()
+            .min(k);
+    }
+    total as f64 / (k * results.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::bigann_like;
+
+    fn tiny() -> (PointSet<f32>, PointSet<f32>) {
+        let points = PointSet::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ]);
+        let queries = PointSet::from_rows(&[vec![0.1, 0.0]]);
+        (points, queries)
+    }
+
+    #[test]
+    fn finds_exact_neighbors() {
+        let (points, queries) = tiny();
+        let gt = compute_ground_truth(&points, &queries, 2, Metric::SquaredEuclidean);
+        assert_eq!(gt.neighbors(0), &[0, 1]);
+        assert!(gt.distances(0)[0] < gt.distances(0)[1]);
+    }
+
+    #[test]
+    fn rows_sorted_by_distance_then_id() {
+        let d = bigann_like(300, 8, 2);
+        let gt = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
+        for q in 0..gt.num_queries() {
+            let ds = gt.distances(q);
+            let is = gt.neighbors(q);
+            for w in 0..ds.len() - 1 {
+                assert!(
+                    ds[w] < ds[w + 1] || (ds[w] == ds[w + 1] && is[w] < is[w + 1]),
+                    "row {q} not sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gt_is_optimal_vs_naive() {
+        let d = bigann_like(200, 5, 3);
+        let gt = compute_ground_truth(&d.points, &d.queries, 3, d.metric);
+        for q in 0..5 {
+            let mut all: Vec<(f32, u32)> = (0..d.points.len())
+                .map(|i| {
+                    (
+                        distance(d.queries.point(q), d.points.point(i), d.metric),
+                        i as u32,
+                    )
+                })
+                .collect();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let want: Vec<u32> = all[..3].iter().map(|&(_, i)| i).collect();
+            assert_eq!(gt.neighbors(q), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn recall_perfect_and_partial() {
+        let (points, queries) = tiny();
+        let gt = compute_ground_truth(&points, &queries, 2, Metric::SquaredEuclidean);
+        assert_eq!(recall_ids(&gt, &[vec![0, 1]], 2, 2), 1.0);
+        assert_eq!(recall_ids(&gt, &[vec![0, 3]], 2, 2), 0.5);
+        assert_eq!(recall_ids(&gt, &[vec![3, 2]], 2, 2), 0.0);
+        // k@k' with k'>k: finding the truth anywhere in the first k' counts.
+        assert_eq!(recall_ids(&gt, &[vec![3, 0, 1]], 2, 3), 1.0);
+    }
+
+    #[test]
+    fn tie_aware_recall_accepts_equidistant() {
+        // Points 1 and 2 are both at distance 1 from the origin query.
+        let points = PointSet::from_rows(&[vec![1.0f32, 0.0], vec![0.0, 1.0], vec![9.0, 9.0]]);
+        let queries = PointSet::from_rows(&[vec![0.0f32, 0.0]]);
+        let gt = compute_ground_truth(&points, &queries, 1, Metric::SquaredEuclidean);
+        // GT keeps id 0 (tie toward smaller id); returning id 1 at the same
+        // distance must still score as a hit.
+        assert_eq!(gt.neighbors(0), &[0]);
+        let res = vec![vec![(1u32, 1.0f32)]];
+        assert_eq!(recall_with_dists(&gt, &res, 1, 1), 1.0);
+        assert_eq!(recall_ids(&gt, &[vec![1]], 1, 1), 0.0);
+    }
+
+    #[test]
+    fn k_larger_than_corpus_is_clamped() {
+        let (points, queries) = tiny();
+        let gt = compute_ground_truth(&points, &queries, 10, Metric::SquaredEuclidean);
+        assert_eq!(gt.k, 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Readers/writers for standard ANNS dataset formats.
+//!
+//! * `fvecs`/`bvecs`/`ivecs` — the TEXMEX formats used by BIGANN-1M/1B:
+//!   each row is a little-endian `i32` dimension followed by `dim` elements
+//!   (`f32`, `u8`, `i32` respectively).
+//! * BigANN-competition `.bin` — a `u32` point count and `u32` dimension
+//!   header followed by row-major elements (`u8`/`i8`/`f32`).
+//!
+//! These make the synthetic-data experiments swappable for the real
+//! datasets without touching any other code.
+
+use crate::point::{PointSet, VectorElem};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Element-level binary codec for dataset files.
+pub trait BinaryElem: VectorElem {
+    /// Size of one encoded element in bytes.
+    const WIDTH: usize;
+    /// Encodes into exactly `WIDTH` bytes.
+    fn encode(self, out: &mut [u8]);
+    /// Decodes from exactly `WIDTH` bytes.
+    fn decode(inp: &[u8]) -> Self;
+}
+
+impl BinaryElem for u8 {
+    const WIDTH: usize = 1;
+    fn encode(self, out: &mut [u8]) {
+        out[0] = self;
+    }
+    fn decode(inp: &[u8]) -> Self {
+        inp[0]
+    }
+}
+
+impl BinaryElem for i8 {
+    const WIDTH: usize = 1;
+    fn encode(self, out: &mut [u8]) {
+        out[0] = self as u8;
+    }
+    fn decode(inp: &[u8]) -> Self {
+        inp[0] as i8
+    }
+}
+
+impl BinaryElem for f32 {
+    const WIDTH: usize = 4;
+    fn encode(self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+    fn decode(inp: &[u8]) -> Self {
+        f32::from_le_bytes([inp[0], inp[1], inp[2], inp[3]])
+    }
+}
+
+/// Writes a point set in xvecs format (per-row `i32` dim prefix).
+pub fn write_xvecs<T: BinaryElem>(path: &Path, points: &PointSet<T>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let dim = points.dim() as i32;
+    let mut buf = vec![0u8; T::WIDTH];
+    for i in 0..points.len() {
+        w.write_all(&dim.to_le_bytes())?;
+        for &x in points.point(i) {
+            x.encode(&mut buf);
+            w.write_all(&buf)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a point set in xvecs format; `max_points` bounds how many rows to
+/// load (`usize::MAX` for all).
+pub fn read_xvecs<T: BinaryElem>(path: &Path, max_points: usize) -> io::Result<PointSet<T>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut data: Vec<T> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut header = [0u8; 4];
+    let mut count = 0usize;
+    while count < max_points {
+        match r.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e),
+        }
+        let d = i32::from_le_bytes(header) as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(prev) if prev == d => {}
+            Some(prev) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("inconsistent dims {prev} vs {d}"),
+                ))
+            }
+        }
+        let mut row = vec![0u8; d * T::WIDTH];
+        r.read_exact(&mut row)?;
+        for c in row.chunks_exact(T::WIDTH) {
+            data.push(T::decode(c));
+        }
+        count += 1;
+    }
+    let dim = dim.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty xvecs file"))?;
+    Ok(PointSet::new(data, dim))
+}
+
+/// Writes the BigANN-competition `.bin` format (`u32 n`, `u32 dim`, rows).
+pub fn write_bin<T: BinaryElem>(path: &Path, points: &PointSet<T>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&(points.len() as u32).to_le_bytes())?;
+    w.write_all(&(points.dim() as u32).to_le_bytes())?;
+    let mut buf = vec![0u8; T::WIDTH];
+    for &x in points.as_flat() {
+        x.encode(&mut buf);
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Reads the BigANN-competition `.bin` format, loading at most `max_points`.
+pub fn read_bin<T: BinaryElem>(path: &Path, max_points: usize) -> io::Result<PointSet<T>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let n = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let dim = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    let take = n.min(max_points);
+    let mut raw = vec![0u8; take * dim * T::WIDTH];
+    r.read_exact(&mut raw)?;
+    let data: Vec<T> = raw.chunks_exact(T::WIDTH).map(T::decode).collect();
+    Ok(PointSet::new(data, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{bigann_like, text2image_like};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parlayann-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn xvecs_roundtrip_u8() {
+        let d = bigann_like(50, 1, 1);
+        let path = tmp("u8.bvecs");
+        write_xvecs(&path, &d.points).unwrap();
+        let back = read_xvecs::<u8>(&path, usize::MAX).unwrap();
+        assert_eq!(back, d.points);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn xvecs_roundtrip_f32_partial_read() {
+        let d = text2image_like(40, 1, 1);
+        let path = tmp("f32.fvecs");
+        write_xvecs(&path, &d.points).unwrap();
+        let back = read_xvecs::<f32>(&path, 10).unwrap();
+        assert_eq!(back.len(), 10);
+        assert_eq!(back.point(9), d.points.point(9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bin_roundtrip_i8() {
+        let ps = PointSet::new((0..60).map(|i| (i - 30) as i8).collect(), 6);
+        let path = tmp("i8.bin");
+        write_bin(&path, &ps).unwrap();
+        let back = read_bin::<i8>(&path, usize::MAX).unwrap();
+        assert_eq!(back, ps);
+        let part = read_bin::<i8>(&path, 3).unwrap();
+        assert_eq!(part.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_errors() {
+        assert!(read_bin::<u8>(Path::new("/nonexistent/x.bin"), 1).is_err());
+    }
+}

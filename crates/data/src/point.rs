@@ -1,0 +1,226 @@
+//! Flat vector storage.
+//!
+//! Points are stored contiguously (`n × dim` elements, row-major) with no
+//! per-point indirection — mirroring the paper's layout optimization
+//! ("we avoid levels of indirection in the graph layout", §4.5) applied to
+//! the vectors themselves.
+
+/// Element types a dataset can use. The paper's datasets cover all three:
+/// BIGANN (`u8`), MSSPACEV (`i8`), TEXT2IMAGE (`f32`).
+pub trait VectorElem: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Widens to `f32` for distance arithmetic.
+    fn to_f32(self) -> f32;
+    /// Quantizes from `f32`, saturating at the type's bounds.
+    fn from_f32(x: f32) -> Self;
+    /// Short name used in dataset descriptions ("u8", "i8", "f32").
+    const NAME: &'static str;
+}
+
+impl VectorElem for u8 {
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x.round().clamp(0.0, 255.0) as u8
+    }
+    const NAME: &'static str = "u8";
+}
+
+impl VectorElem for i8 {
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x.round().clamp(-128.0, 127.0) as i8
+    }
+    const NAME: &'static str = "i8";
+}
+
+impl VectorElem for f32 {
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+    const NAME: &'static str = "f32";
+}
+
+/// A set of `n` points in `dim` dimensions, stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet<T> {
+    data: Vec<T>,
+    dim: usize,
+}
+
+impl<T: VectorElem> PointSet<T> {
+    /// Wraps a flat row-major buffer. `data.len()` must be a multiple of `dim`.
+    pub fn new(data: Vec<T>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "data length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        PointSet { data, dim }
+    }
+
+    /// Builds from per-point rows (all rows must share a length).
+    pub fn from_rows(rows: &[Vec<T>]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let dim = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for r in rows {
+            assert_eq!(r.len(), dim, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        PointSet { data, dim }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th point.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[T] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_flat(&self) -> &[T] {
+        &self.data
+    }
+
+    /// A new set containing `ids` in order (used to take dataset prefixes
+    /// and to gather leaf clusters).
+    pub fn gather(&self, ids: &[u32]) -> PointSet<T> {
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &i in ids {
+            data.extend_from_slice(self.point(i as usize));
+        }
+        PointSet {
+            data,
+            dim: self.dim,
+        }
+    }
+
+    /// The first `n` points as a new set (dataset-size-scaling experiments).
+    pub fn prefix(&self, n: usize) -> PointSet<T> {
+        assert!(n <= self.len());
+        PointSet {
+            data: self.data[..n * self.dim].to_vec(),
+            dim: self.dim,
+        }
+    }
+
+    /// Appends all points of `other` (same dimensionality required).
+    /// Supports dynamic index growth.
+    pub fn append(&mut self, other: &PointSet<T>) {
+        assert_eq!(self.dim, other.dim, "dimension mismatch on append");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// The per-coordinate mean of all points, in `f64` (used for medoids).
+    pub fn centroid_f64(&self) -> Vec<f64> {
+        let n = self.len();
+        assert!(n > 0);
+        // Deterministic: fixed chunking, sequential combine (parlay::reduce_det
+        // over point indices).
+        let chunk = 4096;
+        let partials: Vec<Vec<f64>> = (0..n.div_ceil(chunk))
+            .map(|b| {
+                let mut acc = vec![0.0f64; self.dim];
+                for i in b * chunk..((b + 1) * chunk).min(n) {
+                    for (a, &x) in acc.iter_mut().zip(self.point(i)) {
+                        *a += x.to_f32() as f64;
+                    }
+                }
+                acc
+            })
+            .collect();
+        let mut total = vec![0.0f64; self.dim];
+        for p in partials {
+            for (t, x) in total.iter_mut().zip(p) {
+                *t += x;
+            }
+        }
+        for t in &mut total {
+            *t /= n as f64;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let ps = PointSet::new(vec![1u8, 2, 3, 4, 5, 6], 3);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dim(), 3);
+        assert_eq!(ps.point(0), &[1, 2, 3]);
+        assert_eq!(ps.point(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        let ps = PointSet::from_rows(&rows);
+        assert_eq!(ps.point(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_flat() {
+        PointSet::new(vec![1u8, 2, 3], 2);
+    }
+
+    #[test]
+    fn gather_and_prefix() {
+        let ps = PointSet::new((0u8..12).collect(), 3);
+        let g = ps.gather(&[3, 1]);
+        assert_eq!(g.point(0), ps.point(3));
+        assert_eq!(g.point(1), ps.point(1));
+        let p = ps.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.point(1), ps.point(1));
+    }
+
+    #[test]
+    fn centroid_simple() {
+        let ps = PointSet::new(vec![0.0f32, 10.0, 2.0, 20.0], 2);
+        let c = ps.centroid_f64();
+        assert_eq!(c, vec![1.0, 15.0]);
+    }
+
+    #[test]
+    fn elem_quantization_saturates() {
+        assert_eq!(u8::from_f32(300.0), 255);
+        assert_eq!(u8::from_f32(-5.0), 0);
+        assert_eq!(i8::from_f32(-200.0), -128);
+        assert_eq!(i8::from_f32(127.4), 127);
+        assert_eq!(f32::from_f32(1.5), 1.5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the data substrate: metric axioms (as far as
+//! each metric satisfies them), ground-truth optimality, recall bounds,
+//! and IO round-trips on arbitrary vectors.
+
+use ann_data::io::{read_bin, read_xvecs, write_bin, write_xvecs};
+use ann_data::{compute_ground_truth, distance, recall_ids, Metric, PointSet};
+use proptest::prelude::*;
+
+fn arb_vec(d: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn l2_axioms(a in arb_vec(16), b in arb_vec(16)) {
+        let dab = distance(&a, &b, Metric::SquaredEuclidean);
+        let dba = distance(&b, &a, Metric::SquaredEuclidean);
+        prop_assert_eq!(dab, dba, "symmetry");
+        prop_assert!(dab >= 0.0, "non-negativity");
+        prop_assert_eq!(distance(&a, &a, Metric::SquaredEuclidean), 0.0, "identity");
+    }
+
+    #[test]
+    fn cosine_bounded(a in arb_vec(8), b in arb_vec(8)) {
+        let d = distance(&a, &b, Metric::Cosine);
+        prop_assert!((-1e-3..=2.0 + 1e-3).contains(&d), "cosine distance {d} out of [0,2]");
+    }
+
+    #[test]
+    fn ip_is_negated_dot(a in arb_vec(8), b in arb_vec(8)) {
+        let d = distance(&a, &b, Metric::InnerProduct);
+        let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        prop_assert!((d + dot).abs() <= 1e-3 * dot.abs().max(1.0));
+    }
+
+    #[test]
+    fn ground_truth_rows_sorted_and_distinct(
+        flat in proptest::collection::vec(-20.0f32..20.0, 40..200)
+    ) {
+        let d = 4;
+        let n = flat.len() / d;
+        let points = PointSet::new(flat[..n * d].to_vec(), d);
+        let queries = points.prefix(2.min(n));
+        let k = 3.min(n);
+        let gt = compute_ground_truth(&points, &queries, k, Metric::SquaredEuclidean);
+        for q in 0..queries.len() {
+            let ids = gt.neighbors(q);
+            let set: std::collections::HashSet<u32> = ids.iter().copied().collect();
+            prop_assert_eq!(set.len(), ids.len(), "duplicate neighbor");
+            let ds = gt.distances(q);
+            for w in 0..ds.len() - 1 {
+                prop_assert!(ds[w] <= ds[w + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_is_a_probability(
+        flat in proptest::collection::vec(-20.0f32..20.0, 80..200),
+        fake in proptest::collection::vec(0u32..20, 10)
+    ) {
+        let d = 4;
+        let n = flat.len() / d;
+        let points = PointSet::new(flat[..n * d].to_vec(), d);
+        let queries = points.prefix(1);
+        let k = 5.min(n);
+        let gt = compute_ground_truth(&points, &queries, k, Metric::SquaredEuclidean);
+        let fake_results = vec![fake.iter().map(|&x| x % n as u32).collect::<Vec<u32>>()];
+        let r = recall_ids(&gt, &fake_results, k, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Returning the truth itself scores 1.
+        let perfect = vec![gt.neighbors(0).to_vec()];
+        prop_assert_eq!(recall_ids(&gt, &perfect, k, k), 1.0);
+    }
+
+    #[test]
+    fn bin_roundtrip_arbitrary_f32(flat in proptest::collection::vec(any::<f32>().prop_filter("finite", |x| x.is_finite()), 8..128)) {
+        let d = 4;
+        let n = flat.len() / d;
+        let points = PointSet::new(flat[..n * d].to_vec(), d);
+        let mut path = std::env::temp_dir();
+        path.push(format!("parlayann-prop-{}-{}.bin", std::process::id(), flat.len()));
+        write_bin(&path, &points).unwrap();
+        let back = read_bin::<f32>(&path, usize::MAX).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(back.as_flat(), points.as_flat());
+    }
+
+    #[test]
+    fn xvecs_roundtrip_arbitrary_u8(flat in proptest::collection::vec(any::<u8>(), 6..120)) {
+        let d = 3;
+        let n = flat.len() / d;
+        let points = PointSet::new(flat[..n * d].to_vec(), d);
+        let mut path = std::env::temp_dir();
+        path.push(format!("parlayann-prop-{}-{}.bvecs", std::process::id(), flat.len()));
+        write_xvecs(&path, &points).unwrap();
+        let back = read_xvecs::<u8>(&path, usize::MAX).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        prop_assert_eq!(back.as_flat(), points.as_flat());
+    }
+
+    #[test]
+    fn gather_prefix_consistency(flat in proptest::collection::vec(any::<u8>(), 20..200)) {
+        let d = 5;
+        let n = flat.len() / d;
+        let points = PointSet::new(flat[..n * d].to_vec(), d);
+        let all: Vec<u32> = (0..n as u32).collect();
+        let gathered = points.gather(&all);
+        prop_assert_eq!(gathered.as_flat(), points.as_flat());
+        let half = points.prefix(n / 2 + 1);
+        for i in 0..half.len() {
+            prop_assert_eq!(half.point(i), points.point(i));
+        }
+    }
+}

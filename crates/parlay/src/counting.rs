@@ -1,0 +1,125 @@
+//! Stable blocked parallel counting sort for small integer keys.
+//!
+//! This is the distribution pass of the semisort: per-block histograms,
+//! a transposed scan over (bucket, block) counts, and a parallel scatter
+//! where each block writes disjoint output positions. Stable because blocks
+//! are laid out in input order within each bucket.
+
+use crate::ops::GRAIN;
+use crate::unsafe_slice::{uninit_vec, UnsafeSliceCell};
+use rayon::prelude::*;
+
+/// Sorts `items` by `key(items[i]) ∈ 0..num_buckets`, stably.
+///
+/// Returns `(sorted, bucket_offsets)` where `bucket_offsets` has length
+/// `num_buckets + 1` and bucket `k` occupies
+/// `sorted[bucket_offsets[k]..bucket_offsets[k+1]]`.
+pub fn counting_sort<T, F>(items: &[T], num_buckets: usize, key: F) -> (Vec<T>, Vec<usize>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync + Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), vec![0; num_buckets + 1]);
+    }
+    let block = GRAIN.max(n.div_ceil(4 * rayon::current_num_threads().max(1)));
+    let nblocks = n.div_ceil(block);
+
+    // Per-block histograms, laid out block-major: hist[b * num_buckets + k].
+    let hist: Vec<Vec<usize>> = items
+        .par_chunks(block)
+        .map(|chunk| {
+            let mut h = vec![0usize; num_buckets];
+            for x in chunk {
+                let k = key(x);
+                debug_assert!(k < num_buckets, "key {k} out of range {num_buckets}");
+                h[k] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Global offsets in bucket-major order: for bucket k, blocks 0..nblocks.
+    // offsets[k][b] = start position for block b's elements of bucket k.
+    let mut bucket_offsets = vec![0usize; num_buckets + 1];
+    let mut offsets = vec![0usize; num_buckets * nblocks];
+    let mut acc = 0usize;
+    for k in 0..num_buckets {
+        bucket_offsets[k] = acc;
+        for b in 0..nblocks {
+            offsets[k * nblocks + b] = acc;
+            acc += hist[b][k];
+        }
+    }
+    bucket_offsets[num_buckets] = acc;
+    debug_assert_eq!(acc, n);
+
+    // Scatter: each block owns its slice of each bucket region — disjoint.
+    let mut out: Vec<T> = unsafe { uninit_vec(n) };
+    {
+        let cell = UnsafeSliceCell::new(&mut out);
+        items.par_chunks(block).enumerate().for_each(|(b, chunk)| {
+            let mut cursor: Vec<usize> =
+                (0..num_buckets).map(|k| offsets[k * nblocks + b]).collect();
+            for x in chunk {
+                let k = key(x);
+                // SAFETY: positions [offsets[k][b], offsets[k][b]+hist[b][k])
+                // are owned exclusively by block b.
+                unsafe { cell.write(cursor[k], *x) };
+                cursor[k] += 1;
+            }
+        });
+    }
+    (out, bucket_offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64;
+
+    #[test]
+    fn sorts_by_small_key() {
+        let items: Vec<(usize, u32)> = (0..50_000u32)
+            .map(|i| ((hash64(i as u64) % 8) as usize, i))
+            .collect();
+        let (sorted, offs) = counting_sort(&items, 8, |&(k, _)| k);
+        assert_eq!(sorted.len(), items.len());
+        assert_eq!(offs.len(), 9);
+        // Buckets in order, stable within bucket.
+        for w in sorted.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1);
+            }
+        }
+        // Offsets delimit buckets.
+        for k in 0..8 {
+            for &(kk, _) in &sorted[offs[k]..offs[k + 1]] {
+                assert_eq!(kk, k);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_bucket() {
+        let (s, o) = counting_sort::<u32, _>(&[], 4, |_| 0);
+        assert!(s.is_empty());
+        assert_eq!(o, vec![0; 5]);
+        let (s, o) = counting_sort(&[5u32, 6, 7], 1, |_| 0);
+        assert_eq!(s, vec![5, 6, 7]);
+        assert_eq!(o, vec![0, 3]);
+    }
+
+    #[test]
+    fn deterministic_across_pools() {
+        let items: Vec<(usize, u32)> = (0..60_000u32)
+            .map(|i| ((hash64(i as u64) % 64) as usize, i))
+            .collect();
+        let a = crate::pool::with_threads(1, || counting_sort(&items, 64, |&(k, _)| k));
+        let b = crate::pool::with_threads(2, || counting_sort(&items, 64, |&(k, _)| k));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Parallel flattening of nested sequences (offsets via scan, disjoint copy).
+
+use crate::scan::scan;
+use crate::unsafe_slice::{uninit_vec, UnsafeSliceCell};
+use rayon::prelude::*;
+
+/// Concatenates nested vectors in order; returns `(flat, offsets)` where
+/// `offsets[i]` is the start of `nested[i]` in `flat`
+/// (`offsets.len() == nested.len() + 1`).
+pub fn flatten<T: Copy + Send + Sync>(nested: &[Vec<T>]) -> (Vec<T>, Vec<usize>) {
+    let sizes: Vec<usize> = nested.iter().map(|v| v.len()).collect();
+    let (mut offsets, total) = scan(&sizes, 0, |a, b| a + b);
+    offsets.push(total);
+    let mut flat: Vec<T> = unsafe { uninit_vec(total) };
+    {
+        let cell = UnsafeSliceCell::new(&mut flat);
+        nested.par_iter().enumerate().for_each(|(i, v)| {
+            // SAFETY: range [offsets[i], offsets[i]+v.len()) is exclusive to i.
+            unsafe { cell.copy_from_slice(offsets[i], v) };
+        });
+    }
+    (flat, offsets)
+}
+
+/// `flatten(tabulate(n, f))` without materializing the nested vector twice.
+pub fn flatten_map<T, F>(n: usize, f: F) -> (Vec<T>, Vec<usize>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize) -> Vec<T> + Sync + Send,
+{
+    let nested: Vec<Vec<T>> = (0..n).into_par_iter().map(f).collect();
+    flatten(&nested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_in_order() {
+        let nested = vec![vec![1, 2], vec![], vec![3], vec![4, 5, 6]];
+        let (flat, offs) = flatten(&nested);
+        assert_eq!(flat, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(offs, vec![0, 2, 2, 3, 6]);
+    }
+
+    #[test]
+    fn flatten_map_matches() {
+        let (flat, offs) = flatten_map(1000, |i| vec![i as u32; i % 4]);
+        assert_eq!(flat.len(), (0..1000).map(|i| i % 4).sum::<usize>());
+        for i in 0..1000 {
+            let seg = &flat[offs[i]..offs[i + 1]];
+            assert_eq!(seg.len(), i % 4);
+            assert!(seg.iter().all(|&x| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn flatten_empty() {
+        let (flat, offs) = flatten::<u32>(&[]);
+        assert!(flat.is_empty());
+        assert_eq!(offs, vec![0]);
+    }
+}

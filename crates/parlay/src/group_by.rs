@@ -1,0 +1,89 @@
+//! Grouped views over semisorted data.
+
+use rayon::prelude::*;
+
+/// The result of a [semisort](crate::semisort::semisort): `items` reordered
+/// so equal keys are consecutive, with `offsets` delimiting groups
+/// (`offsets.len() == num_groups + 1`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grouped<T> {
+    /// Reordered items; group `g` is `items[offsets[g]..offsets[g+1]]`.
+    pub items: Vec<T>,
+    /// Group boundaries; always starts at 0 and ends at `items.len()`.
+    pub offsets: Vec<usize>,
+}
+
+impl<T: Sync> Grouped<T> {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The `g`-th group as a slice.
+    pub fn group(&self, g: usize) -> &[T] {
+        &self.items[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// Iterates groups sequentially.
+    pub fn iter_groups(&self) -> impl Iterator<Item = &[T]> + '_ {
+        (0..self.num_groups()).map(move |g| self.group(g))
+    }
+
+    /// Applies `f` to every group in parallel.
+    pub fn par_for_each_group<F>(&self, f: F)
+    where
+        F: Fn(&[T]) + Sync + Send,
+    {
+        (0..self.num_groups())
+            .into_par_iter()
+            .for_each(|g| f(self.group(g)));
+    }
+
+    /// Maps every group in parallel, collecting results in group order.
+    pub fn par_map_groups<U, F>(&self, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(&[T]) -> U + Sync + Send,
+    {
+        (0..self.num_groups())
+            .into_par_iter()
+            .map(|g| f(self.group(g)))
+            .collect()
+    }
+}
+
+/// Groups `(key, value)` pairs by their `u32` key via the semisort.
+pub fn group_by_u32<V>(pairs: &[(u32, V)]) -> Grouped<(u32, V)>
+where
+    V: Copy + Send + Sync,
+{
+    crate::semisort::semisort(pairs, |&(k, _)| k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_by_collects_values() {
+        let pairs: Vec<(u32, u32)> = vec![(1, 10), (2, 20), (1, 11), (2, 21), (1, 12)];
+        let g = group_by_u32(&pairs);
+        assert_eq!(g.num_groups(), 2);
+        let mut found = std::collections::HashMap::new();
+        for grp in g.iter_groups() {
+            let vals: Vec<u32> = grp.iter().map(|&(_, v)| v).collect();
+            found.insert(grp[0].0, vals);
+        }
+        assert_eq!(found[&1], vec![10, 11, 12]);
+        assert_eq!(found[&2], vec![20, 21]);
+    }
+
+    #[test]
+    fn par_map_groups_ordered() {
+        let pairs: Vec<(u32, u32)> = (0..10_000).map(|i| (i % 37, i)).collect();
+        let g = group_by_u32(&pairs);
+        let sizes = g.par_map_groups(|grp| grp.len());
+        assert_eq!(sizes.iter().sum::<usize>(), 10_000);
+        assert_eq!(sizes.len(), 37);
+    }
+}

@@ -1,0 +1,114 @@
+//! Flat data-parallel building blocks: tabulate / map / indexed for-each.
+//!
+//! All helpers fall back to sequential execution below [`GRAIN`] elements;
+//! the fork-join model makes that purely a performance decision — results
+//! are identical either way.
+
+use rayon::prelude::*;
+
+/// Granularity threshold below which loops run sequentially.
+///
+/// ParlayLib uses a similar block size to amortize task-spawn overhead;
+/// the value only affects performance, never results.
+pub const GRAIN: usize = 1024;
+
+/// Builds `[f(0), f(1), ..., f(n-1)]` in parallel.
+pub fn tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    if n < GRAIN {
+        (0..n).map(f).collect()
+    } else {
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+/// Parallel map over a slice.
+pub fn map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
+    if items.len() < GRAIN {
+        items.iter().map(f).collect()
+    } else {
+        items.par_iter().map(f).collect()
+    }
+}
+
+/// Parallel map with the element index.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync + Send,
+{
+    if items.len() < GRAIN {
+        items.iter().enumerate().map(|(i, x)| f(i, x)).collect()
+    } else {
+        items
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect()
+    }
+}
+
+/// Parallel indexed for-each over `0..n` (side-effecting).
+pub fn for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    if n < GRAIN {
+        (0..n).for_each(f);
+    } else {
+        (0..n).into_par_iter().for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_matches_sequential() {
+        let v = tabulate(10_000, |i| i * i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn tabulate_small() {
+        assert_eq!(tabulate(3, |i| i + 1), vec![1, 2, 3]);
+        assert!(tabulate(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_passes_index() {
+        let xs = vec![10, 20, 30];
+        assert_eq!(map(&xs, |i, &x| x + i), vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn map_slice_large() {
+        let xs: Vec<u64> = (0..5000).collect();
+        let ys = map_slice(&xs, |&x| x * 3);
+        assert_eq!(ys[4999], 4999 * 3);
+    }
+
+    #[test]
+    fn for_each_index_writes_disjoint() {
+        use crate::unsafe_slice::UnsafeSliceCell;
+        let mut v = vec![0usize; 5000];
+        {
+            let cell = UnsafeSliceCell::new(&mut v);
+            for_each_index(5000, |i| unsafe { cell.write(i, i + 1) });
+        }
+        assert_eq!(v[0], 1);
+        assert_eq!(v[4999], 5000);
+    }
+}

@@ -1,0 +1,140 @@
+//! Stable parallel packing / filtering / two-way partition.
+//!
+//! These are the "partition primitives" the paper uses to distribute points
+//! to the two branches of a clustering tree in parallel (§3.2). All are
+//! stable (input order preserved within each output), hence deterministic.
+
+use crate::ops::GRAIN;
+use crate::scan::scan;
+use crate::unsafe_slice::{uninit_vec, UnsafeSliceCell};
+use rayon::prelude::*;
+
+/// Keeps `items[i]` where `flags[i]` is true, preserving order.
+pub fn pack<T: Copy + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), flags.len());
+    let n = items.len();
+    if n <= GRAIN {
+        return items
+            .iter()
+            .zip(flags)
+            .filter(|(_, &f)| f)
+            .map(|(&x, _)| x)
+            .collect();
+    }
+    let counts: Vec<usize> = flags
+        .par_chunks(GRAIN)
+        .map(|c| c.iter().filter(|&&f| f).count())
+        .collect();
+    let (offsets, total) = scan(&counts, 0, |a, b| a + b);
+    let mut out: Vec<T> = unsafe { uninit_vec(total) };
+    {
+        let cell = UnsafeSliceCell::new(&mut out);
+        items
+            .par_chunks(GRAIN)
+            .zip(flags.par_chunks(GRAIN))
+            .zip(offsets.par_iter())
+            .for_each(|((xs, fs), &off)| {
+                let mut o = off;
+                for (x, &f) in xs.iter().zip(fs) {
+                    if f {
+                        // SAFETY: blocks write disjoint output ranges
+                        // [offsets[b], offsets[b]+counts[b]).
+                        unsafe { cell.write(o, *x) };
+                        o += 1;
+                    }
+                }
+            });
+    }
+    out
+}
+
+/// Parallel stable filter by predicate.
+pub fn filter<T, F>(items: &[T], pred: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    let flags: Vec<bool> = if items.len() <= GRAIN {
+        items.iter().map(&pred).collect()
+    } else {
+        items.par_iter().map(&pred).collect()
+    };
+    pack(items, &flags)
+}
+
+/// Indices `i` in `0..n` where `pred(i)` holds, in increasing order.
+pub fn pack_index<F>(n: usize, pred: F) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
+    let idx: Vec<u32> = (0..n as u32).collect();
+    filter(&idx, |&i| pred(i as usize))
+}
+
+/// Stable two-way split: `(trues, falses)`.
+pub fn split_by<T, F>(items: &[T], pred: F) -> (Vec<T>, Vec<T>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    let flags: Vec<bool> = if items.len() <= GRAIN {
+        items.iter().map(&pred).collect()
+    } else {
+        items.par_iter().map(&pred).collect()
+    };
+    let yes = pack(items, &flags);
+    let inv: Vec<bool> = flags.iter().map(|&f| !f).collect();
+    let no = pack(items, &inv);
+    (yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_small() {
+        let xs = [1, 2, 3, 4];
+        let fs = [true, false, true, false];
+        assert_eq!(pack(&xs, &fs), vec![1, 3]);
+    }
+
+    #[test]
+    fn pack_large_is_stable() {
+        let xs: Vec<u32> = (0..50_000).collect();
+        let fs: Vec<bool> = xs.iter().map(|x| x % 3 == 0).collect();
+        let got = pack(&xs, &fs);
+        let want: Vec<u32> = xs.iter().copied().filter(|x| x % 3 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_matches_std() {
+        let xs: Vec<i32> = (0..10_000).map(|i| i * 17 % 101).collect();
+        let got = filter(&xs, |&x| x > 50);
+        let want: Vec<i32> = xs.iter().copied().filter(|&x| x > 50).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let xs: Vec<u32> = (0..20_000).collect();
+        let (a, b) = split_by(&xs, |&x| x % 2 == 0);
+        assert_eq!(a.len() + b.len(), xs.len());
+        assert!(a.iter().all(|x| x % 2 == 0));
+        assert!(b.iter().all(|x| x % 2 == 1));
+        // Stability.
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pack_index_basic() {
+        assert_eq!(pack_index(6, |i| i % 2 == 1), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn pack_empty() {
+        assert!(pack::<u32>(&[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Scoped thread-pool control.
+//!
+//! The paper's scalability experiments (Fig. 1, Fig. 6) run the same build
+//! with varying worker counts. [`with_threads`] runs a closure inside a
+//! dedicated rayon pool with exactly `n` workers; the global pool is used
+//! otherwise.
+
+/// Runs `f` on a rayon pool with exactly `n` worker threads.
+///
+/// Because every primitive in this crate is deterministic, `with_threads(1, f)`
+/// and `with_threads(p, f)` produce identical results; only wall-clock time
+/// differs. Integration tests assert exactly that for index builds.
+pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+/// Number of threads in the current rayon pool.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_controls_pool_size() {
+        let n = with_threads(2, num_threads);
+        assert_eq!(n, 2);
+        let n = with_threads(1, num_threads);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn with_threads_returns_closure_value() {
+        assert_eq!(with_threads(2, || 41 + 1), 42);
+    }
+}

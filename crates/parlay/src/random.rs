@@ -1,0 +1,109 @@
+//! Splittable deterministic random source, modeled on `parlay::random`.
+//!
+//! A [`Random`] is a pure value: `r.ith_rand(i)` is a function of the seed
+//! and `i` only. Parallel loops index it by iteration number, so results do
+//! not depend on the execution schedule. `fork` derives an independent
+//! stream (e.g. one per clustering tree in HCNNG).
+
+use crate::hash::{hash64, to_unit_f64};
+
+/// A stateless, splittable pseudo-random stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Random {
+    seed: u64,
+}
+
+impl Random {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Random { seed: hash64(seed) }
+    }
+
+    /// Derives an independent child stream; `fork(i) != fork(j)` for `i != j`.
+    pub fn fork(&self, i: u64) -> Self {
+        Random {
+            seed: hash64(self.seed ^ hash64(i.wrapping_add(0xabcd_ef12))),
+        }
+    }
+
+    /// The `i`-th 64-bit value of the stream.
+    #[inline]
+    pub fn ith_rand(&self, i: u64) -> u64 {
+        hash64(self.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// The `i`-th value reduced to `0..n` (n must be nonzero).
+    #[inline]
+    pub fn ith_range(&self, i: u64, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift reduction avoids modulo bias better than `% n`
+        // for the n ≪ 2^64 values we use.
+        ((self.ith_rand(i) as u128 * n as u128) >> 64) as u64
+    }
+
+    /// The `i`-th value as a uniform `f64` in `[0,1)`.
+    #[inline]
+    pub fn ith_unit_f64(&self, i: u64) -> f64 {
+        to_unit_f64(self.ith_rand(i))
+    }
+
+    /// The `i`-th value as a standard normal (Box–Muller on two stream draws).
+    pub fn ith_normal(&self, i: u64) -> f64 {
+        let u1 = self.ith_unit_f64(2 * i).max(1e-300);
+        let u2 = self.ith_unit_f64(2 * i + 1);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = Random::new(1);
+        let b = Random::new(1);
+        for i in 0..100 {
+            assert_eq!(a.ith_rand(i), b.ith_rand(i));
+        }
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let r = Random::new(7);
+        assert_ne!(r.fork(0).ith_rand(0), r.fork(1).ith_rand(0));
+        assert_ne!(r.fork(0), r);
+    }
+
+    #[test]
+    fn range_respects_bound() {
+        let r = Random::new(3);
+        for i in 0..10_000 {
+            assert!(r.ith_range(i, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let r = Random::new(9);
+        let n = 50_000u64;
+        let mut counts = [0usize; 10];
+        for i in 0..n {
+            counts[r.ith_range(i, 10) as usize] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        for c in counts {
+            assert!((c as f64 - expected).abs() < expected * 0.15, "count {c}");
+        }
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let r = Random::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|i| r.ith_normal(i)).sum::<f64>() / n as f64;
+        let var: f64 = (0..n).map(|i| r.ith_normal(i).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic parallel reductions.
+//!
+//! Rayon's `reduce` combines partial results in schedule-dependent order,
+//! which is fine for integers but makes floating-point reductions
+//! non-deterministic. These variants use a fixed block structure: map each
+//! fixed-size block sequentially, then fold block results sequentially.
+
+use crate::ops::GRAIN;
+use rayon::prelude::*;
+
+/// Deterministic reduction: sequential within fixed blocks, sequential fold
+/// of the per-block results. `O(n)` work, `O(n / GRAIN)` sequential tail.
+pub fn reduce_det<T, A, M, C>(items: &[T], init: A, map_block: M, combine: C) -> A
+where
+    T: Sync,
+    A: Copy + Send + Sync,
+    M: Fn(A, &T) -> A + Sync + Send,
+    C: Fn(A, A) -> A,
+{
+    if items.len() <= GRAIN {
+        return items.iter().fold(init, |acc, x| map_block(acc, x));
+    }
+    let partials: Vec<A> = items
+        .par_chunks(GRAIN)
+        .map(|c| c.iter().fold(init, |acc, x| map_block(acc, x)))
+        .collect();
+    partials.into_iter().fold(init, combine)
+}
+
+/// Deterministic `f64` sum.
+pub fn sum_f64_det(items: &[f64]) -> f64 {
+    reduce_det(items, 0.0, |a, &x| a + x, |a, b| a + b)
+}
+
+/// Parallel `u64` sum (integer addition is associative/commutative, so the
+/// plain rayon reduction is already deterministic).
+pub fn sum_u64(items: &[u64]) -> u64 {
+    if items.len() <= GRAIN {
+        items.iter().sum()
+    } else {
+        items.par_iter().sum()
+    }
+}
+
+/// Index of the minimum element under `key`, ties broken toward the
+/// smallest index (deterministic argmin). Returns `None` on empty input.
+pub fn min_index_by<T, K, F>(items: &[T], key: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Copy + Send,
+    F: Fn(&T) -> K + Sync + Send,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let block_best: Vec<(usize, K)> = items
+        .par_chunks(GRAIN)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let base = b * GRAIN;
+            let mut best = (base, key(&chunk[0]));
+            for (i, x) in chunk.iter().enumerate().skip(1) {
+                let k = key(x);
+                if k < best.1 {
+                    best = (base + i, k);
+                }
+            }
+            best
+        })
+        .collect();
+    let mut best = block_best[0];
+    for &(i, k) in &block_best[1..] {
+        if k < best.1 {
+            best = (i, k);
+        }
+    }
+    Some(best.0)
+}
+
+/// Index of the maximum element under `key`, ties toward smallest index.
+pub fn max_index_by<T, K, F>(items: &[T], key: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Copy + Send,
+    F: Fn(&T) -> K + Sync + Send,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let block_best: Vec<(usize, K)> = items
+        .par_chunks(GRAIN)
+        .enumerate()
+        .map(|(b, chunk)| {
+            let base = b * GRAIN;
+            let mut best = (base, key(&chunk[0]));
+            for (i, x) in chunk.iter().enumerate().skip(1) {
+                let k = key(x);
+                if k > best.1 {
+                    best = (base + i, k);
+                }
+            }
+            best
+        })
+        .collect();
+    let mut best = block_best[0];
+    for &(i, k) in &block_best[1..] {
+        if k > best.1 {
+            best = (i, k);
+        }
+    }
+    Some(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let xs: Vec<u64> = (0..100_000).collect();
+        assert_eq!(sum_u64(&xs), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn f64_sum_deterministic() {
+        let xs: Vec<f64> = (0..60_000).map(|i| (i as f64).sin()).collect();
+        let a = crate::pool::with_threads(1, || sum_f64_det(&xs));
+        let b = crate::pool::with_threads(2, || sum_f64_det(&xs));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_index_ties_to_smallest() {
+        let xs = vec![3, 1, 2, 1, 5];
+        assert_eq!(min_index_by(&xs, |&x| x), Some(1));
+    }
+
+    #[test]
+    fn min_index_large() {
+        let xs: Vec<i64> = (0..50_000).map(|i| ((i * 7919) % 1000) as i64).collect();
+        let got = min_index_by(&xs, |&x| x).unwrap();
+        let want = xs
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &x)| (x, *i))
+            .unwrap()
+            .0;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn min_index_empty() {
+        assert_eq!(min_index_by(&[] as &[i32], |&x| x), None);
+    }
+
+    #[test]
+    fn max_index_ties_to_smallest() {
+        let xs = vec![3, 5, 2, 5, 1];
+        assert_eq!(max_index_by(&xs, |&x| x), Some(1));
+        let big: Vec<u32> = (0..30_000).map(|i| (i * 31) % 4096).collect();
+        let got = max_index_by(&big, |&x| x).unwrap();
+        let want = big
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &x)| (x, std::cmp::Reverse(*i)))
+            .unwrap()
+            .0;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_det_counts() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let evens = reduce_det(
+            &xs,
+            0usize,
+            |a, &x| a + usize::from(x % 2 == 0),
+            |a, b| a + b,
+        );
+        assert_eq!(evens, 5000);
+    }
+}

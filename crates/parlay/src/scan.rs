@@ -1,0 +1,132 @@
+//! Blocked two-pass parallel prefix sums.
+//!
+//! The block structure is fixed (independent of worker count), so even
+//! non-associative-in-practice operators like `f32` addition produce
+//! schedule-independent results — required for deterministic builds.
+
+use crate::ops::GRAIN;
+use crate::unsafe_slice::{uninit_vec, UnsafeSliceCell};
+use rayon::prelude::*;
+
+/// Exclusive scan: returns `(prefixes, total)` where
+/// `prefixes[i] = init ⊕ x₀ ⊕ … ⊕ x_{i-1}`.
+///
+/// `op` must be associative for the parallel and sequential versions to
+/// agree; determinism across thread counts holds regardless because the
+/// combining tree is fixed.
+pub fn scan<T, F>(items: &[T], init: T, op: F) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), init);
+    }
+    if n <= GRAIN {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = init;
+        for &x in items {
+            out.push(acc);
+            acc = op(acc, x);
+        }
+        return (out, acc);
+    }
+    // Pass 1: per-block totals.
+    let block = GRAIN;
+    let nblocks = n.div_ceil(block);
+    let block_sums: Vec<T> = items
+        .par_chunks(block)
+        .map(|c| {
+            let mut acc = c[0];
+            for &x in &c[1..] {
+                acc = op(acc, x);
+            }
+            acc
+        })
+        .collect();
+    // Sequential scan over block totals (nblocks ≪ n).
+    let mut block_prefix = Vec::with_capacity(nblocks);
+    let mut acc = init;
+    for &s in &block_sums {
+        block_prefix.push(acc);
+        acc = op(acc, s);
+    }
+    let total = acc;
+    // Pass 2: re-scan each block with its prefix.
+    let mut out: Vec<T> = unsafe { uninit_vec(n) };
+    {
+        let cell = UnsafeSliceCell::new(&mut out);
+        items
+            .par_chunks(block)
+            .enumerate()
+            .for_each(|(b, chunk)| {
+                let mut acc = block_prefix[b];
+                let base = b * block;
+                for (i, &x) in chunk.iter().enumerate() {
+                    // SAFETY: each block writes its own disjoint range.
+                    unsafe { cell.write(base + i, acc) };
+                    acc = op(acc, x);
+                }
+            });
+    }
+    (out, total)
+}
+
+/// Inclusive scan: `out[i] = x₀ ⊕ … ⊕ x_i`.
+pub fn scan_inclusive<T, F>(items: &[T], init: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let (mut ex, _) = scan(items, init, &op);
+    for (o, &x) in ex.iter_mut().zip(items) {
+        *o = op(*o, x);
+    }
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_small() {
+        let (pre, tot) = scan(&[1, 2, 3, 4], 0, |a, b| a + b);
+        assert_eq!(pre, vec![0, 1, 3, 6]);
+        assert_eq!(tot, 10);
+    }
+
+    #[test]
+    fn exclusive_scan_large_matches_sequential() {
+        let xs: Vec<u64> = (0..50_000).map(|i| i % 7).collect();
+        let (pre, tot) = scan(&xs, 0, |a, b| a + b);
+        let mut acc = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(pre[i], acc);
+            acc += x;
+        }
+        assert_eq!(tot, acc);
+    }
+
+    #[test]
+    fn inclusive_scan() {
+        assert_eq!(scan_inclusive(&[1, 2, 3], 0, |a, b| a + b), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_scan() {
+        let (pre, tot) = scan(&[] as &[u32], 5, |a, b| a + b);
+        assert!(pre.is_empty());
+        assert_eq!(tot, 5);
+    }
+
+    #[test]
+    fn f32_scan_deterministic_across_pools() {
+        let xs: Vec<f32> = (0..30_000).map(|i| (i as f32).sin()).collect();
+        let a = crate::pool::with_threads(1, || scan(&xs, 0.0, |a, b| a + b));
+        let b = crate::pool::with_threads(2, || scan(&xs, 0.0, |a, b| a + b));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

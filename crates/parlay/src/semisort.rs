@@ -1,0 +1,160 @@
+//! Deterministic parallel semisort (paper §2).
+//!
+//! Given items with `u64` keys, reorders them so that all items with equal
+//! keys are consecutive. Keys are not fully sorted: groups appear in hash
+//! order, which is deterministic (the hash is a pure function of the key).
+//! Within a group, input order is preserved (stable), so the semisort's
+//! output is unique — the property ParlayANN relies on to merge reverse
+//! edges without locks (§3.1) and to combine clustering-tree edges (§3.2).
+//!
+//! Implementation: distribute into `O(n / 256)` buckets by hash prefix with
+//! a stable [counting sort](crate::counting), then stable-sort each bucket
+//! by `(hash, key)` in parallel, then locate group boundaries in parallel.
+
+use crate::counting::counting_sort;
+use crate::group_by::Grouped;
+use crate::hash::hash64;
+use crate::ops::GRAIN;
+use crate::pack::pack_index;
+use crate::unsafe_slice::UnsafeSliceCell;
+use rayon::prelude::*;
+
+/// Semisorts `items` by `key`, returning grouped output.
+pub fn semisort<T, F>(items: &[T], key: F) -> Grouped<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return Grouped {
+            items: Vec::new(),
+            offsets: vec![0],
+        };
+    }
+
+    // Tag each item with the hash of its key (computed once).
+    let mut tagged: Vec<(u64, T)> = if n < GRAIN {
+        items.iter().map(|x| (hash64(key(x)), *x)).collect()
+    } else {
+        items.par_iter().map(|x| (hash64(key(x)), *x)).collect()
+    };
+
+    if n <= GRAIN {
+        // Small case: single stable sort by (hash, key).
+        tagged.sort_by(|a, b| (a.0, key(&a.1)).cmp(&(b.0, key(&b.1))));
+    } else {
+        // Distribute by hash prefix.
+        let log_buckets = (n / 256).next_power_of_two().trailing_zeros().min(14);
+        let num_buckets = 1usize << log_buckets;
+        let shift = 64 - log_buckets;
+        let (mut sorted, bucket_offsets) =
+            counting_sort(&tagged, num_buckets, |&(h, _)| (h >> shift) as usize);
+        // Stable-sort each bucket by (hash, key) in parallel.
+        {
+            let cell = UnsafeSliceCell::new(&mut sorted);
+            (0..num_buckets).into_par_iter().for_each(|b| {
+                let start = bucket_offsets[b];
+                let len = bucket_offsets[b + 1] - start;
+                if len > 1 {
+                    // SAFETY: bucket ranges are disjoint.
+                    let slice = unsafe { cell.slice_mut(start, len) };
+                    slice.sort_by(|a, z| (a.0, key(&a.1)).cmp(&(z.0, key(&z.1))));
+                }
+            });
+        }
+        tagged = sorted;
+    }
+
+    // Group boundaries: i = 0 or key differs from predecessor.
+    let starts = pack_index(n, |i| i == 0 || key(&tagged[i].1) != key(&tagged[i - 1].1));
+    let mut offsets: Vec<usize> = starts.iter().map(|&i| i as usize).collect();
+    offsets.push(n);
+
+    let out: Vec<T> = if n < GRAIN {
+        tagged.iter().map(|&(_, x)| x).collect()
+    } else {
+        tagged.par_iter().map(|&(_, x)| x).collect()
+    };
+    Grouped {
+        items: out,
+        offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64 as h64;
+
+    fn check_semisort(items: &[(u32, u32)]) {
+        let g = semisort(items, |&(k, _)| k as u64);
+        // Same multiset.
+        let mut a = items.to_vec();
+        let mut b = g.items.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Each key appears in exactly one group.
+        let mut seen = std::collections::HashSet::new();
+        for gi in 0..g.num_groups() {
+            let grp = g.group(gi);
+            let k = grp[0].0;
+            assert!(seen.insert(k), "key {k} split across groups");
+            assert!(grp.iter().all(|&(kk, _)| kk == k));
+            // Stability: payloads in input order.
+            let payloads: Vec<u32> = grp.iter().map(|&(_, v)| v).collect();
+            let want: Vec<u32> = items
+                .iter()
+                .filter(|&&(kk, _)| kk == k)
+                .map(|&(_, v)| v)
+                .collect();
+            assert_eq!(payloads, want);
+        }
+    }
+
+    #[test]
+    fn groups_small() {
+        check_semisort(&[(3, 0), (1, 1), (3, 2), (2, 3), (1, 4)]);
+    }
+
+    #[test]
+    fn groups_large() {
+        let items: Vec<(u32, u32)> = (0..80_000u32)
+            .map(|i| ((h64(i as u64) % 500) as u32, i))
+            .collect();
+        check_semisort(&items);
+    }
+
+    #[test]
+    fn all_same_key() {
+        let items: Vec<(u32, u32)> = (0..5000).map(|i| (7, i)).collect();
+        let g = semisort(&items, |&(k, _)| k as u64);
+        assert_eq!(g.num_groups(), 1);
+        assert_eq!(g.group(0).len(), 5000);
+    }
+
+    #[test]
+    fn all_distinct_keys() {
+        let items: Vec<(u32, u32)> = (0..5000).map(|i| (i, i)).collect();
+        let g = semisort(&items, |&(k, _)| k as u64);
+        assert_eq!(g.num_groups(), 5000);
+    }
+
+    #[test]
+    fn empty() {
+        let g = semisort(&[] as &[(u32, u32)], |&(k, _)| k as u64);
+        assert_eq!(g.num_groups(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_pools() {
+        let items: Vec<(u32, u32)> = (0..60_000u32)
+            .map(|i| ((h64(i as u64 + 9) % 300) as u32, i))
+            .collect();
+        let a = crate::pool::with_threads(1, || semisort(&items, |&(k, _)| k as u64));
+        let b = crate::pool::with_threads(2, || semisort(&items, |&(k, _)| k as u64));
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.offsets, b.offsets);
+    }
+}

@@ -1,0 +1,253 @@
+//! Parallel **stable** merge sort.
+//!
+//! Stability matters for determinism: a stable sort has a unique output for
+//! any comparator, so the result cannot depend on the schedule. The
+//! algorithm is the classic fork-join merge sort with a parallel merge that
+//! splits on the median of the larger side (as in ParlayLib / Cormen et al.).
+
+use crate::unsafe_slice::uninit_vec;
+use std::cmp::Ordering;
+
+const SEQ_SORT_CUTOFF: usize = 4096;
+const SEQ_MERGE_CUTOFF: usize = 8192;
+
+/// Sorts a vector in place, stably and in parallel, by `cmp`.
+pub fn sort_by<T, F>(items: &mut Vec<T>, cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = items.len();
+    if n <= SEQ_SORT_CUTOFF {
+        items.sort_by(&cmp);
+        return;
+    }
+    let mut buf: Vec<T> = unsafe { uninit_vec(n) };
+    msort(items.as_mut_slice(), buf.as_mut_slice(), &cmp);
+    // `buf` holds copies of Copy data; dropping it is fine.
+}
+
+/// Sorts by a key projection.
+pub fn sort_by_key<T, K, F>(items: &mut Vec<T>, key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    sort_by(items, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Sorts a vector of `Ord` items.
+pub fn sort<T: Copy + Send + Sync + Ord>(items: &mut Vec<T>) {
+    sort_by(items, |a, b| a.cmp(b));
+}
+
+/// Recursive stable merge sort of `v` using scratch `buf` (same length).
+fn msort<T, F>(v: &mut [T], buf: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = v.len();
+    if n <= SEQ_SORT_CUTOFF {
+        v.sort_by(cmp);
+        return;
+    }
+    let mid = n / 2;
+    let (vl, vr) = v.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    rayon::join(|| msort(vl, bl, cmp), || msort(vr, br, cmp));
+    // Merge halves of v into buf, then copy back.
+    par_merge_into(vl, vr, buf, cmp);
+    let (vl, vr) = v.split_at_mut(mid);
+    vl.copy_from_slice(&buf[..mid]);
+    vr.copy_from_slice(&buf[mid..]);
+}
+
+/// Merges two sorted runs into `out` (len = a.len()+b.len()), stably
+/// (ties taken from `a` first) and in parallel.
+pub fn merge_by<T, F>(a: &[T], b: &[T], cmp: &F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let mut out: Vec<T> = unsafe { uninit_vec(a.len() + b.len()) };
+    par_merge_into(a, b, &mut out, cmp);
+    out
+}
+
+fn par_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    if a.len() + b.len() <= SEQ_MERGE_CUTOFF {
+        seq_merge_into(a, b, out, cmp);
+        return;
+    }
+    // Split on the median of the longer run; binary-search its rank in the
+    // other. Taking the *lower bound* in `b` for a pivot from `a` (and the
+    // upper-bound convention below) preserves stability.
+    if a.len() >= b.len() {
+        let am = a.len() / 2;
+        let pivot = &a[am];
+        // Keys of `b` equal to the pivot must land right of it (ties come
+        // from `a` first), so split `b` at the first j with b[j] >= pivot.
+        let bm = lower_bound_strict(b, pivot, cmp);
+        let (al, ar) = a.split_at(am);
+        let (bl, br) = b.split_at(bm);
+        let (ol, or_) = out.split_at_mut(am + bm);
+        rayon::join(
+            || par_merge_into(al, bl, ol, cmp),
+            || par_merge_into(ar, br, or_, cmp),
+        );
+    } else {
+        let bm = b.len() / 2;
+        let pivot = &b[bm];
+        // Elements of a equal to pivot must go LEFT of pivot (a before b).
+        let am = upper_bound_loose(a, pivot, cmp);
+        let (al, ar) = a.split_at(am);
+        let (bl, br) = b.split_at(bm);
+        let (ol, or_) = out.split_at_mut(am + bm);
+        rayon::join(
+            || par_merge_into(al, bl, ol, cmp),
+            || par_merge_into(ar, br, or_, cmp),
+        );
+    }
+}
+
+/// First index `j` in sorted `b` with `b[j] >= pivot` — equal keys from `b`
+/// are routed right of an equal pivot drawn from `a`.
+fn lower_bound_strict<T, F>(b: &[T], pivot: &T, cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut lo = 0;
+    let mut hi = b.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if cmp(&b[mid], pivot) == Ordering::Less {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First index `i` in sorted `a` with `a[i] > pivot` — equal keys from `a`
+/// are routed left of an equal pivot drawn from `b`.
+fn upper_bound_loose<T, F>(a: &[T], pivot: &T, cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut lo = 0;
+    let mut hi = a.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if cmp(&a[mid], pivot) == Ordering::Greater {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+fn seq_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], cmp: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut i = 0;
+    let mut j = 0;
+    let mut k = 0;
+    while i < a.len() && j < b.len() {
+        // Ties taken from `a` => stable.
+        if cmp(&b[j], &a[i]) == Ordering::Less {
+            out[k] = b[j];
+            j += 1;
+        } else {
+            out[k] = a[i];
+            i += 1;
+        }
+        k += 1;
+    }
+    if i < a.len() {
+        out[k..].copy_from_slice(&a[i..]);
+    } else {
+        out[k..].copy_from_slice(&b[j..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64;
+
+    #[test]
+    fn sorts_small() {
+        let mut v = vec![3u32, 1, 2];
+        sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut v: Vec<u64> = (0..100_000).map(hash64).collect();
+        let mut want = v.clone();
+        want.sort_unstable();
+        sort(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        // Key = value % 16; payload = original index. After a stable sort,
+        // within each key the payloads must be increasing.
+        let mut v: Vec<(u64, u32)> = (0..80_000u32)
+            .map(|i| (hash64(i as u64) % 16, i))
+            .collect();
+        sort_by_key(&mut v, |&(k, _)| k);
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_descending_comparator() {
+        let mut v: Vec<u32> = (0..50_000).map(|i| (i * 31) % 1000).collect();
+        sort_by(&mut v, |a, b| b.cmp(a));
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn merge_by_stable() {
+        let a = vec![(1, 'a'), (2, 'a'), (2, 'a')];
+        let b = vec![(2, 'b'), (3, 'b')];
+        let m = merge_by(&a, &b, &|x: &(i32, char), y: &(i32, char)| x.0.cmp(&y.0));
+        assert_eq!(
+            m,
+            vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b')]
+        );
+    }
+
+    #[test]
+    fn sort_deterministic_across_pools() {
+        let v0: Vec<u64> = (0..60_000).map(|i| hash64(i) % 977).collect();
+        let a = crate::pool::with_threads(1, || {
+            let mut v = v0.clone();
+            sort(&mut v);
+            v
+        });
+        let b = crate::pool::with_threads(2, || {
+            let mut v = v0.clone();
+            sort(&mut v);
+            v
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Disjoint-write shared slices.
+//!
+//! ParlayANN's lock-free batch updates write to *provably disjoint* regions
+//! of a shared adjacency array from a parallel loop (paper §3.1: after the
+//! semisort, all edges incident to one vertex are handled by one task).
+//! Rust's `&mut` aliasing rules cannot express "disjoint but scattered"
+//! writes through safe APIs, so this module provides the standard escape
+//! hatch: a `Sync` wrapper over a raw slice whose `unsafe` methods put the
+//! disjointness obligation on the caller.
+
+use std::marker::PhantomData;
+
+/// A shared view of a mutable slice permitting concurrent writes to
+/// caller-guaranteed-disjoint elements.
+///
+/// # Safety contract
+/// For the lifetime of the cell, two tasks must never write the same index,
+/// and no task may read an index another task writes. All uses in this
+/// workspace derive disjointness from a semisort (one group = one task) or
+/// from batch membership (one vertex = one task).
+pub struct UnsafeSliceCell<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for UnsafeSliceCell<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSliceCell<'_, T> {}
+
+impl<'a, T> UnsafeSliceCell<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSliceCell {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no concurrent access to index `i`.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        self.ptr.add(i).write(value);
+    }
+
+    /// Returns a mutable subslice `[start, start+len)`.
+    ///
+    /// # Safety
+    /// Range in bounds, and no concurrent access to any index in the range.
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start.checked_add(len).is_some_and(|e| e <= self.len));
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+impl<T: Copy> UnsafeSliceCell<'_, T> {
+    /// Copies `src` into positions `[start, start+src.len())`.
+    ///
+    /// # Safety
+    /// Range in bounds, and no concurrent access to any index in the range.
+    #[inline]
+    pub unsafe fn copy_from_slice(&self, start: usize, src: &[T]) {
+        debug_assert!(start.checked_add(src.len()).is_some_and(|e| e <= self.len));
+        std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.add(start), src.len());
+    }
+}
+
+/// Allocates a `Vec<T>` of length `len` whose elements are uninitialized.
+///
+/// # Safety
+/// Every element must be written before the vector is read or dropped.
+/// `T` must not have a `Drop` impl that could run on uninitialized data
+/// (all call sites use `Copy` element types).
+pub unsafe fn uninit_vec<T>(len: usize) -> Vec<T> {
+    let mut v: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(len);
+    // MaybeUninit contents are allowed to be uninitialized.
+    v.set_len(len);
+    // Vec<MaybeUninit<T>> and Vec<T> have identical layout.
+    let mut v = std::mem::ManuallyDrop::new(v);
+    Vec::from_raw_parts(v.as_mut_ptr() as *mut T, len, v.capacity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let n = 10_000;
+        let mut v = vec![0u64; n];
+        {
+            let cell = UnsafeSliceCell::new(&mut v);
+            (0..n).into_par_iter().for_each(|i| unsafe {
+                cell.write(i, i as u64 * 2);
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn copy_from_slice_blocks() {
+        let n = 1000;
+        let mut v = vec![0u32; n];
+        let blocks: Vec<Vec<u32>> = (0..10).map(|b| vec![b as u32; 100]).collect();
+        {
+            let cell = UnsafeSliceCell::new(&mut v);
+            blocks.par_iter().enumerate().for_each(|(b, block)| unsafe {
+                cell.copy_from_slice(b * 100, block);
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x as usize, i / 100);
+        }
+    }
+
+    #[test]
+    fn uninit_vec_roundtrip() {
+        let mut v: Vec<u32> = unsafe { uninit_vec(64) };
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        assert_eq!(v[63], 63);
+        assert_eq!(v.len(), 64);
+    }
+}

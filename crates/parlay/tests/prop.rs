@@ -1,0 +1,149 @@
+//! Property-based tests for the parallel primitives: every primitive must
+//! agree with its obvious sequential reference on arbitrary inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scan_matches_sequential(xs in proptest::collection::vec(0u64..1000, 0..5000)) {
+        let (pre, total) = parlay::scan(&xs, 0, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(pre[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_inclusive_matches(xs in proptest::collection::vec(0u64..1000, 0..3000)) {
+        let inc = parlay::scan_inclusive(&xs, 0, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(inc[i], acc);
+        }
+    }
+
+    #[test]
+    fn pack_matches_filter(xs in proptest::collection::vec(any::<u32>(), 0..4000)) {
+        let flags: Vec<bool> = xs.iter().map(|x| x % 3 == 0).collect();
+        let got = parlay::pack(&xs, &flags);
+        let want: Vec<u32> = xs.iter().copied().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_preserves_order(xs in proptest::collection::vec(any::<i32>(), 0..4000)) {
+        let got = parlay::filter(&xs, |&x| x > 0);
+        let want: Vec<i32> = xs.iter().copied().filter(|&x| x > 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn split_by_partitions(xs in proptest::collection::vec(any::<u16>(), 0..4000)) {
+        let (yes, no) = parlay::split_by(&xs, |&x| x % 2 == 0);
+        prop_assert_eq!(yes.len() + no.len(), xs.len());
+        let mut merged: Vec<u16> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        for &x in &xs {
+            if x % 2 == 0 { prop_assert_eq!(yes[i], x); i += 1; merged.push(x); }
+            else { prop_assert_eq!(no[j], x); j += 1; merged.push(x); }
+        }
+    }
+
+    #[test]
+    fn sort_matches_std_stable(xs in proptest::collection::vec((0u8..16, any::<u32>()), 0..6000)) {
+        let mut got = xs.clone();
+        parlay::sort_by_key(&mut got, |&(k, _)| k);
+        let mut want = xs.clone();
+        want.sort_by_key(|&(k, _)| k); // std stable sort
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn counting_sort_stable(xs in proptest::collection::vec((0usize..8, any::<u32>()), 0..6000)) {
+        let (got, offs) = parlay::counting_sort(&xs, 8, |&(k, _)| k);
+        let mut want = xs.clone();
+        want.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(offs[8], xs.len());
+        for k in 0..8 {
+            for &(kk, _) in &got[offs[k]..offs[k + 1]] {
+                prop_assert_eq!(kk, k);
+            }
+        }
+    }
+
+    #[test]
+    fn semisort_groups_are_exact(xs in proptest::collection::vec((0u32..50, any::<u32>()), 0..4000)) {
+        let g = parlay::semisort(&xs, |&(k, _)| k as u64);
+        // Multiset equality.
+        let mut a = xs.clone();
+        let mut b = g.items.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // One group per distinct key; stable within group.
+        let mut seen = std::collections::HashSet::new();
+        for gi in 0..g.num_groups() {
+            let grp = g.group(gi);
+            let key = grp[0].0;
+            prop_assert!(seen.insert(key));
+            let vals: Vec<u32> = grp.iter().map(|&(_, v)| v).collect();
+            let want: Vec<u32> = xs.iter().filter(|&&(k, _)| k == key).map(|&(_, v)| v).collect();
+            prop_assert_eq!(vals, want);
+        }
+    }
+
+    #[test]
+    fn flatten_concatenates(sizes in proptest::collection::vec(0usize..20, 0..200)) {
+        let nested: Vec<Vec<u32>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| vec![i as u32; s])
+            .collect();
+        let (flat, offs) = parlay::flatten(&nested);
+        prop_assert_eq!(flat.len(), sizes.iter().sum::<usize>());
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(offs[i + 1] - offs[i], s);
+            prop_assert!(flat[offs[i]..offs[i + 1]].iter().all(|&x| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn min_max_index_agree_with_reference(xs in proptest::collection::vec(any::<i64>(), 1..3000)) {
+        let got_min = parlay::min_index_by(&xs, |&x| x).unwrap();
+        let want_min = xs.iter().enumerate().min_by_key(|&(i, &x)| (x, i)).unwrap().0;
+        prop_assert_eq!(got_min, want_min);
+        let got_max = parlay::max_index_by(&xs, |&x| x).unwrap();
+        let want_max = xs
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &x)| (x, std::cmp::Reverse(i)))
+            .unwrap()
+            .0;
+        prop_assert_eq!(got_max, want_max);
+    }
+
+    #[test]
+    fn random_streams_are_pure(seed in any::<u64>(), i in any::<u64>()) {
+        let r = parlay::Random::new(seed);
+        prop_assert_eq!(r.ith_rand(i), r.ith_rand(i));
+        prop_assert!(r.ith_unit_f64(i) < 1.0);
+        prop_assert!(r.ith_unit_f64(i) >= 0.0);
+        if i > 0 {
+            prop_assert!(r.ith_range(i, i) < i);
+        }
+    }
+
+    #[test]
+    fn group_by_u32_collects_all(xs in proptest::collection::vec((0u32..30, any::<u64>()), 0..2000)) {
+        let pairs: Vec<(u32, u64)> = xs;
+        let g = parlay::group_by_u32(&pairs);
+        let total: usize = (0..g.num_groups()).map(|i| g.group(i).len()).sum();
+        prop_assert_eq!(total, pairs.len());
+    }
+}

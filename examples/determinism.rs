@@ -1,0 +1,88 @@
+//! Determinism: the property that distinguishes ParlayANN from lock-based
+//! parallel ANNS implementations.
+//!
+//! Builds each index twice — once on 1 thread, once on all threads — and
+//! compares graph fingerprints. The Parlay builds are bit-identical; the
+//! lock-based "original" build is not guaranteed to be (its output depends
+//! on lock-acquisition order).
+//!
+//! ```text
+//! cargo run --release --example determinism
+//! ```
+
+use parlayann_suite::baselines::locked;
+use parlayann_suite::core::{
+    HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    VamanaIndex, VamanaParams,
+};
+use parlayann_suite::data::bigann_like;
+
+fn main() {
+    let n = 4_000;
+    let data = bigann_like(n, 1, 99);
+    let max_threads = std::thread::available_parallelism().map_or(2, |p| p.get());
+    println!("building each index on 1 thread and on {max_threads} threads; comparing fingerprints\n");
+
+    let runs: Vec<(&str, Box<dyn Fn() -> u64 + Sync>)> = vec![
+        (
+            "ParlayDiskANN",
+            Box::new(|| {
+                VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default())
+                    .graph
+                    .fingerprint()
+            }),
+        ),
+        (
+            "ParlayHNSW",
+            Box::new(|| {
+                HnswIndex::build(data.points.clone(), data.metric, &HnswParams::default())
+                    .fingerprint()
+            }),
+        ),
+        (
+            "ParlayHCNNG",
+            Box::new(|| {
+                HcnngIndex::build(data.points.clone(), data.metric, &HcnngParams::default())
+                    .graph
+                    .fingerprint()
+            }),
+        ),
+        (
+            "ParlayPyNN",
+            Box::new(|| {
+                PyNNDescentIndex::build(
+                    data.points.clone(),
+                    data.metric,
+                    &PyNNDescentParams::default(),
+                )
+                .graph
+                .fingerprint()
+            }),
+        ),
+        (
+            "locked DiskANN (original)",
+            Box::new(|| {
+                locked::original_diskann_build(&data.points, data.metric, 32, 64, 1.2)
+                    .0
+                    .fingerprint()
+            }),
+        ),
+    ];
+
+    println!(
+        "{:>28}  {:>18}  {:>18}  {}",
+        "index", "fp @ 1 thread", "fp @ all threads", "deterministic?"
+    );
+    for (name, build) in &runs {
+        let fp1 = parlay::with_threads(1, || build());
+        let fp2 = parlay::with_threads(max_threads, || build());
+        println!(
+            "{:>28}  {:>18x}  {:>18x}  {}",
+            name,
+            fp1,
+            fp2,
+            if fp1 == fp2 { "yes" } else { "NO (lock order)" }
+        );
+    }
+    println!("\n(Every Parlay index must print 'yes'; the locked comparator may differ run to run.)");
+}

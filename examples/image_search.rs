@@ -1,0 +1,78 @@
+//! Image-descriptor search: the BIGANN scenario from the paper's intro.
+//!
+//! Builds all four ParlayANN graph indexes over SIFT-like u8 descriptors
+//! and prints each algorithm's recall/QPS tradeoff — a miniature of the
+//! paper's Fig. 3a.
+//!
+//! ```text
+//! cargo run --release --example image_search
+//! ```
+
+use parlayann_suite::core::{
+    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex,
+    PyNNDescentParams, QueryParams, VamanaIndex, VamanaParams,
+};
+use parlayann_suite::data::{bigann_like, compute_ground_truth, recall_ids};
+
+fn main() {
+    let n = 10_000;
+    let data = bigann_like(n, 100, 7);
+    let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
+    println!("BIGANN-like image-descriptor search, n={n}\n");
+
+    let indexes: Vec<Box<dyn AnnIndex<u8>>> = vec![
+        Box::new(VamanaIndex::build(
+            data.points.clone(),
+            data.metric,
+            &VamanaParams::default(),
+        )),
+        Box::new(HnswIndex::build(
+            data.points.clone(),
+            data.metric,
+            &HnswParams::default(),
+        )),
+        Box::new(HcnngIndex::build(
+            data.points.clone(),
+            data.metric,
+            &HcnngParams::default(),
+        )),
+        Box::new(PyNNDescentIndex::build(
+            data.points.clone(),
+            data.metric,
+            &PyNNDescentParams::default(),
+        )),
+    ];
+
+    println!(
+        "{:>14}  {:>6}  {:>8}  {:>10}  {:>10}",
+        "algorithm", "beam", "recall", "qps", "dist/query"
+    );
+    for index in &indexes {
+        for beam in [16usize, 32, 64, 128] {
+            let params = QueryParams {
+                k: 10,
+                beam,
+                ..QueryParams::default()
+            };
+            let t0 = std::time::Instant::now();
+            let mut total_dc = 0usize;
+            let results: Vec<Vec<u32>> = (0..data.queries.len())
+                .map(|q| {
+                    let (res, stats) = index.search(data.queries.point(q), &params);
+                    total_dc += stats.dist_comps;
+                    res.into_iter().map(|(id, _)| id).collect()
+                })
+                .collect();
+            let secs = t0.elapsed().as_secs_f64();
+            let recall = recall_ids(&gt, &results, 10, 10);
+            println!(
+                "{:>14}  {:>6}  {:>8.4}  {:>10.0}  {:>10.0}",
+                index.name(),
+                beam,
+                recall,
+                data.queries.len() as f64 / secs,
+                total_dc as f64 / data.queries.len() as f64
+            );
+        }
+    }
+}

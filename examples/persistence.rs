@@ -1,0 +1,52 @@
+//! Persistence, dynamic updates, and range search — the library features
+//! the paper's determinism enables (vector databases need persistence /
+//! crash recovery / replication, §1) plus its Open Question 4.
+//!
+//! ```text
+//! cargo run --release --example persistence
+//! ```
+
+use parlayann_suite::core::{QueryParams, RangeParams, VamanaIndex, VamanaParams};
+use parlayann_suite::data::{bigann_like, compute_ground_truth};
+
+fn main() {
+    let data = bigann_like(8_000, 20, 3);
+    let params = VamanaParams::default();
+
+    // 1. Build over the first 6000 points; insert the rest as a batch.
+    let mut index = VamanaIndex::build(data.points.prefix(6_000), data.metric, &params);
+    println!(
+        "initial build: {} points, fingerprint {:x}",
+        index.len(),
+        index.graph.fingerprint()
+    );
+    let rest_ids: Vec<u32> = (6_000..8_000u32).collect();
+    index.insert_batch(&data.points.gather(&rest_ids), &params);
+    println!(
+        "after batch insert: {} points, fingerprint {:x} (deterministic — rerun and compare)",
+        index.len(),
+        index.graph.fingerprint()
+    );
+
+    // 2. Save to disk and reload; the clone is bit-identical.
+    let path = std::env::temp_dir().join("parlayann-example.pann");
+    index.save(&path).expect("save");
+    let loaded = VamanaIndex::<u8>::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.graph.fingerprint(), index.graph.fingerprint());
+    println!("saved + reloaded: fingerprints match");
+
+    // 3. k-NN and range queries on the reloaded index.
+    let q = data.queries.point(0);
+    let (knn, _) = loaded.search(q, &QueryParams::default());
+    println!("\n10-NN of query 0: {:?}", knn.iter().map(|&(id, _)| id).collect::<Vec<_>>());
+
+    let gt = compute_ground_truth(loaded.points(), &data.queries, 20, data.metric);
+    let radius = gt.distances(0)[19];
+    let (ball, stats) = loaded.range_search(q, &RangeParams { radius, ..RangeParams::default() });
+    println!(
+        "range query (radius = 20-NN distance): {} points found, {} distance comparisons",
+        ball.len(),
+        stats.dist_comps
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a deterministic DiskANN (Vamana) index over a small
+//! synthetic corpus and run a few queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parlayann_suite::core::{QueryParams, VamanaIndex, VamanaParams};
+use parlayann_suite::data::{bigann_like, compute_ground_truth, recall_ids};
+
+fn main() {
+    // 10 000 SIFT-like 128-d u8 vectors plus 50 held-out queries.
+    let data = bigann_like(10_000, 50, 42);
+    println!(
+        "corpus: {} points, {} dims ({})",
+        data.points.len(),
+        data.points.dim(),
+        data.metric.name()
+    );
+
+    // Build: prefix-doubling batch insertion, lock-free, deterministic.
+    let t0 = std::time::Instant::now();
+    let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+    println!(
+        "built ParlayDiskANN in {:.2}s  (avg degree {:.1}, {} distance comparisons)",
+        t0.elapsed().as_secs_f64(),
+        index.graph.avg_degree(),
+        index.build_stats.dist_comps
+    );
+
+    // Query: beam search with the (1+eps) cut.
+    let params = QueryParams {
+        k: 10,
+        beam: 64,
+        ..QueryParams::default()
+    };
+    let (neighbors, stats) = index.search(data.queries.point(0), &params);
+    println!("query 0 nearest neighbors (id, distance):");
+    for (id, dist) in &neighbors {
+        println!("  {id:>6}  {dist:.1}");
+    }
+    println!("({} distance comparisons, {} hops)", stats.dist_comps, stats.hops);
+
+    // Verify against exact ground truth.
+    let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
+    let results: Vec<Vec<u32>> = (0..data.queries.len())
+        .map(|q| {
+            index
+                .search(data.queries.point(q), &params)
+                .0
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect();
+    println!("10@10 recall over 50 queries: {:.4}", recall_ids(&gt, &results, 10, 10));
+}

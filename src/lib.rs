@@ -1,0 +1,15 @@
+//! # parlayann-suite — workspace facade
+//!
+//! Re-exports the crates of the ParlayANN reproduction so examples and
+//! integration tests can `use parlayann_suite::*`. See the individual
+//! crates for the real APIs:
+//!
+//! * [`parlay`] — fork-join parallel primitives (ParlayLib port).
+//! * [`ann_data`] — vectors, distances, datasets, ground truth.
+//! * [`parlayann`] — the four graph-based ANNS algorithms.
+//! * [`ann_baselines`] — IVF/PQ/LSH and lock-based comparators.
+
+pub use ann_baselines as baselines;
+pub use ann_data as data;
+pub use parlay;
+pub use parlayann as core;

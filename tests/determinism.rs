@@ -1,0 +1,129 @@
+//! The paper's headline correctness property: every ParlayANN build is
+//! deterministic — bit-identical output for any thread count.
+
+use parlayann_suite::baselines::{IvfIndex, IvfParams, LshIndex, LshParams};
+use parlayann_suite::core::{
+    HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    QueryParams, VamanaIndex, VamanaParams,
+};
+use parlayann_suite::data::bigann_like;
+
+const N: usize = 1_200;
+
+fn across_threads(f: impl Fn() -> u64 + Sync) -> (u64, u64) {
+    let a = parlay::with_threads(1, &f);
+    let b = parlay::with_threads(2, &f);
+    (a, b)
+}
+
+#[test]
+fn diskann_fingerprint_stable() {
+    let d = bigann_like(N, 1, 10);
+    let (a, b) = across_threads(|| {
+        VamanaIndex::build(d.points.clone(), d.metric, &VamanaParams::default())
+            .graph
+            .fingerprint()
+    });
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hnsw_fingerprint_stable() {
+    let d = bigann_like(N, 1, 11);
+    let (a, b) = across_threads(|| {
+        HnswIndex::build(d.points.clone(), d.metric, &HnswParams::default()).fingerprint()
+    });
+    assert_eq!(a, b);
+}
+
+#[test]
+fn hcnng_fingerprint_stable() {
+    let d = bigann_like(N, 1, 12);
+    let (a, b) = across_threads(|| {
+        HcnngIndex::build(d.points.clone(), d.metric, &HcnngParams::default())
+            .graph
+            .fingerprint()
+    });
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pynndescent_fingerprint_stable() {
+    let d = bigann_like(N, 1, 13);
+    let params = PyNNDescentParams {
+        num_trees: 4,
+        max_iters: 3,
+        ..PyNNDescentParams::default()
+    };
+    let (a, b) = across_threads(|| {
+        PyNNDescentIndex::build(d.points.clone(), d.metric, &params)
+            .graph
+            .fingerprint()
+    });
+    assert_eq!(a, b);
+}
+
+#[test]
+fn repeated_builds_are_identical() {
+    // Same thread count, two runs: also identical (no time/address
+    // dependence anywhere).
+    let d = bigann_like(N, 1, 14);
+    let fp = || {
+        VamanaIndex::build(d.points.clone(), d.metric, &VamanaParams::default())
+            .graph
+            .fingerprint()
+    };
+    assert_eq!(fp(), fp());
+}
+
+#[test]
+fn query_results_are_deterministic() {
+    let d = bigann_like(N, 20, 15);
+    let index = VamanaIndex::build(d.points.clone(), d.metric, &VamanaParams::default());
+    let run = || -> Vec<Vec<(u32, u32)>> {
+        (0..d.queries.len())
+            .map(|q| {
+                index
+                    .search(d.queries.point(q), &QueryParams::default())
+                    .0
+                    .into_iter()
+                    .map(|(id, dist)| (id, dist.to_bits()))
+                    .collect()
+            })
+            .collect()
+    };
+    let a = parlay::with_threads(1, run);
+    let b = parlay::with_threads(2, run);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn baselines_are_deterministic_too() {
+    // Our IVF and LSH builds use semisort bucketing, so they are also
+    // deterministic (unlike typical hash-map-based implementations).
+    let d = bigann_like(N, 1, 16);
+    let (a, b) = across_threads(|| {
+        let idx = IvfIndex::build(
+            d.points.clone(),
+            d.metric,
+            &IvfParams {
+                nlist: 32,
+                ..IvfParams::default()
+            },
+        );
+        // Digest the quantizer.
+        idx.quantizer
+            .centroids
+            .iter()
+            .fold(0u64, |acc, &x| parlay::hash64_pair(acc, x.to_bits() as u64))
+    });
+    assert_eq!(a, b);
+    let (a, b) = across_threads(|| {
+        let idx = LshIndex::build(d.points.clone(), d.metric, &LshParams::default());
+        let (res, _) = idx.search_probes(d.points.point(0), 5, 4);
+        res.iter().fold(0u64, |acc, &(id, _)| {
+            parlay::hash64_pair(acc, id as u64)
+        })
+    });
+    assert_eq!(a, b);
+}

@@ -1,0 +1,142 @@
+//! Cross-crate integration: every algorithm × every dataset element type
+//! must build and reach a recall floor.
+
+use parlayann_suite::baselines::{IvfIndex, IvfParams};
+use parlayann_suite::core::{
+    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex,
+    PyNNDescentParams, QueryParams, VamanaIndex, VamanaParams,
+};
+use parlayann_suite::data::{
+    bigann_like, compute_ground_truth, msspacev_like, recall_ids, text2image_like, Dataset,
+    VectorElem,
+};
+
+const N: usize = 1_500;
+const NQ: usize = 30;
+
+fn check_recall<T: VectorElem, I: AnnIndex<T>>(data: &Dataset<T>, index: &I, floor: f64) {
+    let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
+    let params = QueryParams {
+        k: 10,
+        beam: 80,
+        cut: 1.1,
+        ..QueryParams::default()
+    };
+    let results: Vec<Vec<u32>> = (0..data.queries.len())
+        .map(|q| {
+            index
+                .search(data.queries.point(q), &params)
+                .0
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect();
+    let r = recall_ids(&gt, &results, 10, 10);
+    assert!(r >= floor, "{} recall {r} below floor {floor}", index.name());
+}
+
+#[test]
+fn diskann_on_all_element_types() {
+    let b = bigann_like(N, NQ, 1);
+    check_recall(
+        &b,
+        &VamanaIndex::build(b.points.clone(), b.metric, &VamanaParams::default()),
+        0.9,
+    );
+    let m = msspacev_like(N, NQ, 1);
+    check_recall(
+        &m,
+        &VamanaIndex::build(m.points.clone(), m.metric, &VamanaParams::default()),
+        0.9,
+    );
+    let t = text2image_like(N, NQ, 1);
+    let params = VamanaParams {
+        alpha: 1.0,
+        ..VamanaParams::default()
+    };
+    check_recall(
+        &t,
+        &VamanaIndex::build(t.points.clone(), t.metric, &params),
+        0.5, // OOD inner-product is the hard case (paper Fig. 3c)
+    );
+}
+
+#[test]
+fn hnsw_on_all_element_types() {
+    let b = bigann_like(N, NQ, 2);
+    check_recall(
+        &b,
+        &HnswIndex::build(b.points.clone(), b.metric, &HnswParams::default()),
+        0.9,
+    );
+    let m = msspacev_like(N, NQ, 2);
+    check_recall(
+        &m,
+        &HnswIndex::build(m.points.clone(), m.metric, &HnswParams::default()),
+        0.9,
+    );
+}
+
+#[test]
+fn hcnng_on_all_element_types() {
+    let b = bigann_like(N, NQ, 3);
+    check_recall(
+        &b,
+        &HcnngIndex::build(b.points.clone(), b.metric, &HcnngParams::default()),
+        0.85,
+    );
+    let m = msspacev_like(N, NQ, 3);
+    check_recall(
+        &m,
+        &HcnngIndex::build(m.points.clone(), m.metric, &HcnngParams::default()),
+        0.85,
+    );
+}
+
+#[test]
+fn pynndescent_on_bigann() {
+    let b = bigann_like(N, NQ, 4);
+    check_recall(
+        &b,
+        &PyNNDescentIndex::build(b.points.clone(), b.metric, &PyNNDescentParams::default()),
+        0.8,
+    );
+}
+
+#[test]
+fn ivf_flat_full_probe_is_exact_everywhere() {
+    let m = msspacev_like(N, NQ, 5);
+    let index = IvfIndex::build(
+        m.points.clone(),
+        m.metric,
+        &IvfParams {
+            nlist: 16,
+            ..IvfParams::default()
+        },
+    );
+    let gt = compute_ground_truth(&m.points, &m.queries, 10, m.metric);
+    let results: Vec<Vec<u32>> = (0..m.queries.len())
+        .map(|q| {
+            index
+                .search_nprobe(m.queries.point(q), 10, 16)
+                .0
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect();
+    assert_eq!(recall_ids(&gt, &results, 10, 10), 1.0);
+}
+
+#[test]
+fn search_stats_are_populated() {
+    let b = bigann_like(N, 5, 6);
+    let index = VamanaIndex::build(b.points.clone(), b.metric, &VamanaParams::default());
+    let (res, stats) = index.search(b.queries.point(0), &QueryParams::default());
+    assert!(!res.is_empty());
+    assert!(stats.dist_comps > res.len());
+    assert!(stats.hops >= 1);
+    assert!(index.build_stats.dist_comps > 0);
+    assert!(index.build_stats.seconds > 0.0);
+}

@@ -1,0 +1,62 @@
+//! Dataset IO round-trips and ground-truth consistency across crates.
+
+use parlayann_suite::data::io::{read_bin, read_xvecs, write_bin, write_xvecs};
+use parlayann_suite::data::{
+    bigann_like, compute_ground_truth, msspacev_like, recall_with_dists, text2image_like,
+};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("parlayann-it-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn ground_truth_survives_bin_roundtrip() {
+    let d = bigann_like(600, 20, 51);
+    let path = tmp("pts.bin");
+    write_bin(&path, &d.points).unwrap();
+    let loaded = read_bin::<u8>(&path, usize::MAX).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let gt_orig = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
+    let gt_load = compute_ground_truth(&loaded, &d.queries, 10, d.metric);
+    assert_eq!(gt_orig, gt_load);
+}
+
+#[test]
+fn fvecs_roundtrip_preserves_f32_bits() {
+    let d = text2image_like(200, 5, 52);
+    let path = tmp("pts.fvecs");
+    write_xvecs(&path, &d.points).unwrap();
+    let loaded = read_xvecs::<f32>(&path, usize::MAX).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded.as_flat(), d.points.as_flat());
+}
+
+#[test]
+fn i8_bin_roundtrip() {
+    let d = msspacev_like(300, 5, 53);
+    let path = tmp("pts.i8bin");
+    write_bin(&path, &d.points).unwrap();
+    let loaded = read_bin::<i8>(&path, 300).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    assert_eq!(loaded, d.points);
+}
+
+#[test]
+fn tie_aware_recall_on_quantized_data() {
+    // u8 data produces exact distance ties; tie-aware recall of the ground
+    // truth against itself must be exactly 1.
+    let d = bigann_like(500, 10, 54);
+    let gt = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
+    let results: Vec<Vec<(u32, f32)>> = (0..d.queries.len())
+        .map(|q| {
+            gt.neighbors(q)
+                .iter()
+                .zip(gt.distances(q))
+                .map(|(&id, &dist)| (id, dist))
+                .collect()
+        })
+        .collect();
+    assert_eq!(recall_with_dists(&gt, &results, 10, 10), 1.0);
+}
