@@ -265,10 +265,24 @@ mod tests {
             },
         );
         let gt = compute_ground_truth(&d.points, &d.queries, 10, d.metric);
-        let r1 = recall_ids(&gt, &results_to_ids(index.search_batch(&d.queries, 10, 1)), 10, 10);
-        let r8 = recall_ids(&gt, &results_to_ids(index.search_batch(&d.queries, 10, 8)), 10, 10);
-        let r64 =
-            recall_ids(&gt, &results_to_ids(index.search_batch(&d.queries, 10, 64)), 10, 10);
+        let r1 = recall_ids(
+            &gt,
+            &results_to_ids(index.search_batch(&d.queries, 10, 1)),
+            10,
+            10,
+        );
+        let r8 = recall_ids(
+            &gt,
+            &results_to_ids(index.search_batch(&d.queries, 10, 8)),
+            10,
+            10,
+        );
+        let r64 = recall_ids(
+            &gt,
+            &results_to_ids(index.search_batch(&d.queries, 10, 64)),
+            10,
+            10,
+        );
         assert!(r1 <= r8 + 1e-9 && r8 <= r64 + 1e-9, "{r1} {r8} {r64}");
         assert_eq!(r64, 1.0);
     }

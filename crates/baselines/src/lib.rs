@@ -14,6 +14,9 @@
 //! All indexes implement [`parlayann::AnnIndex`], so the benchmark harness
 //! sweeps them with the same driver as the graph algorithms.
 
+// See parlayann's lib.rs: same pedantic-lint tradeoff for numeric code.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
 pub mod ivf;
 pub mod kmeans;
 pub mod locked;

@@ -125,11 +125,17 @@ pub fn original_diskann_build<T: VectorElem>(
     beam: usize,
     alpha: f32,
 ) -> (FlatGraph, u32, BuildStats) {
-    locked_incremental_build(points, metric, degree, beam, move |p, cands, pts, m, bound| {
-        let mut dc = 0usize;
-        let out = robust_prune(p, cands, pts, m, alpha, bound, &mut dc);
-        (out, dc)
-    })
+    locked_incremental_build(
+        points,
+        metric,
+        degree,
+        beam,
+        move |p, cands, pts, m, bound| {
+            let mut dc = 0usize;
+            let out = robust_prune(p, cands, pts, m, alpha, bound, &mut dc);
+            (out, dc)
+        },
+    )
 }
 
 /// Original-style (single-layer) HNSW build: same locked loop with the
@@ -141,11 +147,17 @@ pub fn original_hnsw_build<T: VectorElem>(
     beam: usize,
     alpha: f32,
 ) -> (FlatGraph, u32, BuildStats) {
-    locked_incremental_build(points, metric, degree, beam, move |p, cands, pts, m, bound| {
-        let mut dc = 0usize;
-        let out = heuristic_prune(p, cands, pts, m, alpha, bound, true, &mut dc);
-        (out, dc)
-    })
+    locked_incremental_build(
+        points,
+        metric,
+        degree,
+        beam,
+        move |p, cands, pts, m, bound| {
+            let mut dc = 0usize;
+            let out = heuristic_prune(p, cands, pts, m, alpha, bound, true, &mut dc);
+            (out, dc)
+        },
+    )
 }
 
 fn locked_incremental_build<T, F>(
@@ -170,8 +182,14 @@ where
         if p == start {
             return;
         }
-        let (_, visited, mut dc) =
-            locked_beam_search(points.point(p as usize), points, metric, &graph, start, beam);
+        let (_, visited, mut dc) = locked_beam_search(
+            points.point(p as usize),
+            points,
+            metric,
+            &graph,
+            start,
+            beam,
+        );
         let (out, pdc) = prune(p, visited, points, metric, degree);
         dc += pdc;
         *graph.rows[p as usize].write() = out.clone();
@@ -284,6 +302,7 @@ fn sequential_cluster<T: VectorElem>(
     // Reuse the deterministic parallel implementation inside a 1-thread
     // pool is not possible (we are already inside rayon), so recurse
     // sequentially here.
+    #[allow(clippy::too_many_arguments)]
     fn go<T: VectorElem>(
         points: &PointSet<T>,
         ids: Vec<u32>,
@@ -326,8 +345,26 @@ fn sequential_cluster<T: VectorElem>(
                 split
             }
         };
-        go(points, left, leaf_size, metric, rng, 2 * node, depth + 1, out);
-        go(points, right, leaf_size, metric, rng, 2 * node + 1, depth + 1, out);
+        go(
+            points,
+            left,
+            leaf_size,
+            metric,
+            rng,
+            2 * node,
+            depth + 1,
+            out,
+        );
+        go(
+            points,
+            right,
+            leaf_size,
+            metric,
+            rng,
+            2 * node + 1,
+            depth + 1,
+            out,
+        );
     }
     let mut out = Vec::new();
     go(points, ids, leaf_size.max(2), metric, rng, 1, 0, &mut out);
@@ -528,11 +565,18 @@ mod tests {
         };
         let results: Vec<Vec<u32>> = (0..data.queries.len())
             .map(|q| {
-                flat_search(graph, &data.points, data.metric, start, data.queries.point(q), &qp)
-                    .0
-                    .into_iter()
-                    .map(|(id, _)| id)
-                    .collect()
+                flat_search(
+                    graph,
+                    &data.points,
+                    data.metric,
+                    start,
+                    data.queries.point(q),
+                    &qp,
+                )
+                .0
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
             })
             .collect();
         recall_ids(&gt, &results, 10, 10)

@@ -192,20 +192,18 @@ impl<T: VectorElem> LshIndex<T> {
 }
 
 /// Signs and margins of `v - mean` against `bits` hyperplanes.
-fn signature(
-    v: &[f32],
-    planes: &[f32],
-    mean: &[f32],
-    bits: usize,
-    dim: usize,
-) -> (u32, Vec<f32>) {
+fn signature(v: &[f32], planes: &[f32], mean: &[f32], bits: usize, dim: usize) -> (u32, Vec<f32>) {
     let mut sig = 0u32;
     let mut margins = Vec::with_capacity(bits);
     for b in 0..bits {
         let h = &planes[b * dim..(b + 1) * dim];
         let mut dot = 0.0f32;
         for j in 0..dim {
-            let x = if mean.is_empty() { v[j] } else { v[j] - mean[j] };
+            let x = if mean.is_empty() {
+                v[j]
+            } else {
+                v[j] - mean[j]
+            };
             dot += x * h[j];
         }
         if dot >= 0.0 {
@@ -262,11 +260,30 @@ mod tests {
                 let centering: Vec<f32> =
                     d.points.centroid_f64().iter().map(|&x| x as f32).collect();
                 let block = &index.planes[t * index.num_bits * dim..(t + 1) * index.num_bits * dim];
-                let s_q = signature(&to_f32_vec(d.points.point(q)), block, &centering, index.num_bits, dim).0;
-                let s_nn =
-                    signature(&to_f32_vec(d.points.point(nn as usize)), block, &centering, index.num_bits, dim).0;
-                let s_far =
-                    signature(&to_f32_vec(d.points.point(far as usize)), block, &centering, index.num_bits, dim).0;
+                let s_q = signature(
+                    &to_f32_vec(d.points.point(q)),
+                    block,
+                    &centering,
+                    index.num_bits,
+                    dim,
+                )
+                .0;
+                let s_nn = signature(
+                    &to_f32_vec(d.points.point(nn as usize)),
+                    block,
+                    &centering,
+                    index.num_bits,
+                    dim,
+                )
+                .0;
+                let s_far = signature(
+                    &to_f32_vec(d.points.point(far as usize)),
+                    block,
+                    &centering,
+                    index.num_bits,
+                    dim,
+                )
+                .0;
                 nn_hits += usize::from(s_q == s_nn);
                 far_hits += usize::from(s_q == s_far);
             }

@@ -58,7 +58,7 @@ impl ProductQuantizer {
         let dim = points.dim();
         assert!(dim > 0);
         let mut m = params.m.min(dim).max(1);
-        while dim % m != 0 {
+        while !dim.is_multiple_of(m) {
             m -= 1;
         }
         let dsub = dim / m;
@@ -76,7 +76,13 @@ impl ProductQuantizer {
                     }
                 }
                 let sub = PointSet::new(data, dsub);
-                kmeans::train(&sub, 256, params.train_iters, sample_n, params.seed ^ s as u64)
+                kmeans::train(
+                    &sub,
+                    256,
+                    params.train_iters,
+                    sample_n,
+                    params.seed ^ s as u64,
+                )
             })
             .collect();
         ProductQuantizer {
@@ -128,13 +134,12 @@ impl ProductQuantizer {
             let qs = &q[s * self.dsub..(s + 1) * self.dsub];
             for c in 0..cb.k() {
                 let cen = cb.centroid(c);
+                // Route the sub-vector arithmetic through the dispatched
+                // SIMD kernels — the same code path every other distance
+                // evaluation in the workspace takes.
                 let v = match metric {
-                    Metric::InnerProduct => -qs.iter().zip(cen).map(|(a, b)| a * b).sum::<f32>(),
-                    _ => qs
-                        .iter()
-                        .zip(cen)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum::<f32>(),
+                    Metric::InnerProduct => -ann_data::dot(qs, cen),
+                    _ => ann_data::squared_euclidean(qs, cen),
                 };
                 table[s * 256 + c] = v;
             }

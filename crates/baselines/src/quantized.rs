@@ -17,9 +17,11 @@
 
 use crate::kmeans::to_f32_vec;
 use crate::pq::{PqParams, ProductQuantizer};
-use ann_data::{distance, Metric, PointSet, VectorElem};
+use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 use parlayann::beam::GraphView;
-use parlayann::{AnnIndex, BuildStats, FlatGraph, QueryParams, SearchStats, VamanaIndex, VamanaParams};
+use parlayann::{
+    AnnIndex, BuildStats, FlatGraph, QueryParams, SearchStats, VamanaIndex, VamanaParams,
+};
 use rayon::prelude::*;
 
 /// Build parameters for [`PqVamanaIndex`].
@@ -158,9 +160,14 @@ impl<T: VectorElem> PqVamanaIndex<T> {
         };
         frontier.truncate(keep);
         if self.rerank_factor > 0 {
-            for cand in &mut frontier {
-                cand.1 = distance(query, self.points.point(cand.0 as usize), self.metric);
-                stats.dist_comps += 1;
+            // Exact distances for the re-rank set in one batched,
+            // prefetched call through the SIMD kernels.
+            let ids: Vec<u32> = frontier.iter().map(|&(id, _)| id).collect();
+            let mut exact = Vec::new();
+            distance_batch(query, &ids, &self.points, self.metric, &mut exact);
+            stats.dist_comps += ids.len();
+            for (cand, d) in frontier.iter_mut().zip(exact) {
+                cand.1 = d;
             }
             frontier.sort_by(cmp);
         }
@@ -192,7 +199,8 @@ mod tests {
     #[test]
     fn compressed_search_reaches_good_recall_with_rerank() {
         let data = bigann_like(2_000, 40, 71);
-        let index = PqVamanaIndex::build(data.points.clone(), data.metric, &PqVamanaParams::default());
+        let index =
+            PqVamanaIndex::build(data.points.clone(), data.metric, &PqVamanaParams::default());
         let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
         let qp = QueryParams {
             beam: 64,

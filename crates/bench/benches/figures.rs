@@ -142,10 +142,22 @@ fn fig6_size_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_size_scaling");
     g.sample_size(10);
     g.bench_function("build_n750", |b| {
-        b.iter(|| VamanaIndex::build(small.data.points.clone(), small.data.metric, &small_params()))
+        b.iter(|| {
+            VamanaIndex::build(
+                small.data.points.clone(),
+                small.data.metric,
+                &small_params(),
+            )
+        })
     });
     g.bench_function("build_n1500", |b| {
-        b.iter(|| VamanaIndex::build(large.data.points.clone(), large.data.metric, &small_params()))
+        b.iter(|| {
+            VamanaIndex::build(
+                large.data.points.clone(),
+                large.data.metric,
+                &small_params(),
+            )
+        })
     });
     g.finish();
 }
@@ -184,7 +196,10 @@ fn ablation_visited_set(c: &mut Criterion) {
     let w = workloads::bigann(N);
     let index = VamanaIndex::build(w.data.points.clone(), w.data.metric, &small_params());
     let mut g = c.benchmark_group("ablation_visited_set");
-    for (label, mode) in [("approx", VisitedMode::Approx), ("exact", VisitedMode::Exact)] {
+    for (label, mode) in [
+        ("approx", VisitedMode::Approx),
+        ("exact", VisitedMode::Exact),
+    ] {
         let params = QueryParams {
             beam: 32,
             visited: mode,

@@ -40,9 +40,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
-        Some("build") => dispatch_elem(&args[1..], 1, cmd_build::<u8>, cmd_build::<i8>, cmd_build::<f32>),
-        Some("stats") => dispatch_elem(&args[1..], 1, cmd_stats::<u8>, cmd_stats::<i8>, cmd_stats::<f32>),
-        Some("query") => dispatch_elem(&args[1..], 1, cmd_query::<u8>, cmd_query::<i8>, cmd_query::<f32>),
+        Some("build") => dispatch_elem(
+            &args[1..],
+            1,
+            cmd_build::<u8>,
+            cmd_build::<i8>,
+            cmd_build::<f32>,
+        ),
+        Some("stats") => dispatch_elem(
+            &args[1..],
+            1,
+            cmd_stats::<u8>,
+            cmd_stats::<i8>,
+            cmd_stats::<f32>,
+        ),
+        Some("query") => dispatch_elem(
+            &args[1..],
+            1,
+            cmd_query::<u8>,
+            cmd_query::<i8>,
+            cmd_query::<f32>,
+        ),
         _ => usage(),
     }
 }
@@ -75,7 +93,11 @@ fn cmd_gen(args: &[String]) {
             if let Some(qp) = args.get(3) {
                 write_bin(Path::new(qp), &d.queries).expect("write queries");
             }
-            println!("wrote {n} x {}d u8 points (metric {})", d.points.dim(), d.metric.name());
+            println!(
+                "wrote {n} x {}d u8 points (metric {})",
+                d.points.dim(),
+                d.metric.name()
+            );
         }
         "msspacev" => {
             let d = ann_data::msspacev_like(n, nq, 42);
@@ -83,7 +105,11 @@ fn cmd_gen(args: &[String]) {
             if let Some(qp) = args.get(3) {
                 write_bin(Path::new(qp), &d.queries).expect("write queries");
             }
-            println!("wrote {n} x {}d i8 points (metric {})", d.points.dim(), d.metric.name());
+            println!(
+                "wrote {n} x {}d i8 points (metric {})",
+                d.points.dim(),
+                d.metric.name()
+            );
         }
         "text2image" => {
             let d = ann_data::text2image_like(n, nq, 42);
@@ -91,7 +117,11 @@ fn cmd_gen(args: &[String]) {
             if let Some(qp) = args.get(3) {
                 write_bin(Path::new(qp), &d.queries).expect("write queries");
             }
-            println!("wrote {n} x {}d f32 points (metric {})", d.points.dim(), d.metric.name());
+            println!(
+                "wrote {n} x {}d f32 points (metric {})",
+                d.points.dim(),
+                d.metric.name()
+            );
         }
         _ => usage(),
     }
@@ -112,11 +142,19 @@ fn cmd_build<T: BinaryElem>(args: &[String]) {
     let points = read_bin::<T>(Path::new(points_path), usize::MAX).expect("read points");
     let metric = parse_metric(args);
     let params = VamanaParams {
-        degree: flag(args, "--degree").and_then(|s| s.parse().ok()).unwrap_or(32),
-        beam: flag(args, "--beam").and_then(|s| s.parse().ok()).unwrap_or(64),
-        alpha: flag(args, "--alpha").and_then(|s| s.parse().ok()).unwrap_or(
-            if metric == Metric::InnerProduct { 1.0 } else { 1.2 },
-        ),
+        degree: flag(args, "--degree")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(32),
+        beam: flag(args, "--beam")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64),
+        alpha: flag(args, "--alpha")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if metric == Metric::InnerProduct {
+                1.0
+            } else {
+                1.2
+            }),
         ..VamanaParams::default()
     };
     println!(
@@ -140,7 +178,9 @@ fn cmd_build<T: BinaryElem>(args: &[String]) {
 }
 
 fn cmd_stats<T: BinaryElem>(args: &[String]) {
-    let Some(index_path) = args.first() else { usage() };
+    let Some(index_path) = args.first() else {
+        usage()
+    };
     let index = VamanaIndex::<T>::load(Path::new(index_path)).expect("load index");
     let stats = graph_stats(&index.graph, index.points(), index.metric, index.start);
     println!("{}", stats.summary());
@@ -154,7 +194,9 @@ fn cmd_query<T: BinaryElem>(args: &[String]) {
     let index = VamanaIndex::<T>::load(Path::new(index_path)).expect("load index");
     let queries = read_bin::<T>(Path::new(queries_path), usize::MAX).expect("read queries");
     let k = flag(args, "--k").and_then(|s| s.parse().ok()).unwrap_or(10);
-    let beam = flag(args, "--beam").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let beam = flag(args, "--beam")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let params = QueryParams {
         k,
         beam: beam.max(k),

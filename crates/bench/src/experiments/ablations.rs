@@ -15,9 +15,7 @@
 use crate::harness::{fmt, print_table, qps_at_recall, sweep, write_csv};
 use crate::workloads::{self, GT_K};
 use ann_data::recall_ids;
-use parlayann::{
-    builder, HcnngIndex, HcnngParams, QueryParams, VamanaIndex, VisitedMode,
-};
+use parlayann::{builder, HcnngIndex, HcnngParams, QueryParams, VamanaIndex, VisitedMode};
 
 /// §3.1: prefix doubling vs sequential vs one giant batch.
 pub fn prefix_doubling(scale: usize) {
@@ -146,7 +144,8 @@ pub fn visited_and_cut(scale: usize) {
             let mut kept = None;
             for _ in 0..3 {
                 let t0 = std::time::Instant::now();
-                let (ids, stats) = crate::harness::tabulate_queries(&index, &w.data.queries, &params);
+                let (ids, stats) =
+                    crate::harness::tabulate_queries(&index, &w.data.queries, &params);
                 let secs = t0.elapsed().as_secs_f64();
                 if secs < best {
                     best = secs;
@@ -177,7 +176,10 @@ pub fn hcnng_mst(scale: usize) {
     let w = workloads::bigann(n);
     let base = super::hcnng_params(n);
     let mut rows = Vec::new();
-    for (label, full) in [("restricted (10-NN edges)", false), ("complete graph", true)] {
+    for (label, full) in [
+        ("restricted (10-NN edges)", false),
+        ("complete graph", true),
+    ] {
         let params = HcnngParams {
             full_mst: full,
             ..base
@@ -253,7 +255,9 @@ pub fn quantized_graph(scale: usize) {
     let headers = ["variant", "qps@0.9", "best_recall"];
     print_table("OQ3 — quantized graph search", &headers, &rows);
     write_csv("ablation_quantized", &headers, &rows);
-    println!("(expect: rerank recovers most recall at ~1/8 the vector bytes; no-rerank caps below)");
+    println!(
+        "(expect: rerank recovers most recall at ~1/8 the vector bytes; no-rerank caps below)"
+    );
 }
 
 /// Runs all ablations.

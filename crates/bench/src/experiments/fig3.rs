@@ -48,13 +48,22 @@ fn run_dataset<T: VectorElem>(label: &str, w: &Workload<T>) -> Vec<Vec<String>> 
 /// Runs the experiment.
 pub fn run(scale: usize) {
     let n = scale;
-    println!("Fig. 3: QPS-recall and dist-comps-recall at n={n} (the paper's billion-scale figure)");
+    println!(
+        "Fig. 3: QPS-recall and dist-comps-recall at n={n} (the paper's billion-scale figure)"
+    );
     let mut rows = Vec::new();
     rows.extend(run_dataset("BIGANN", &workloads::bigann(n)));
     rows.extend(run_dataset("MSSPACEV", &workloads::msspacev(n)));
     rows.extend(run_dataset("TEXT2IMAGE", &workloads::text2image(n)));
     let headers = [
-        "dataset", "algorithm", "build_s", "beam", "cut", "recall", "qps", "dist_cmps",
+        "dataset",
+        "algorithm",
+        "build_s",
+        "beam",
+        "cut",
+        "recall",
+        "qps",
+        "dist_cmps",
     ];
     print_table("Fig. 3 — QPS & dist-comps vs recall", &headers, &rows);
     write_csv("fig3", &headers, &rows);

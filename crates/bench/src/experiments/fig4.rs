@@ -57,7 +57,11 @@ fn run_dataset<T: VectorElem>(label: &str, w: &Workload<T>) -> Vec<Vec<String>> 
                 p.beam.to_string(),
                 format!("{:.4}", p.recall),
                 fmt(p.qps),
-                if p.recall >= 0.9 { "zoom".into() } else { "".into() },
+                if p.recall >= 0.9 {
+                    "zoom".into()
+                } else {
+                    "".into()
+                },
             ]);
         }
     }

@@ -138,11 +138,7 @@ mod tests {
 
     #[test]
     fn stats_of_a_known_graph() {
-        let points = ann_data::PointSet::from_rows(&[
-            vec![0.0f32],
-            vec![1.0],
-            vec![5.0],
-        ]);
+        let points = ann_data::PointSet::from_rows(&[vec![0.0f32], vec![1.0], vec![5.0]]);
         let mut g = FlatGraph::new(3, 2);
         g.set_neighbors(0, &[1, 2]);
         g.set_neighbors(1, &[0]);

@@ -17,7 +17,7 @@
 use crate::graph::FlatGraph;
 use crate::stats::SearchStats;
 use crate::visited::VisitedFilter;
-use ann_data::{distance, Metric, PointSet, VectorElem};
+use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 
 /// Which visited-set implementation a search uses (§4.5 ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,15 +107,27 @@ pub fn beam_search<T: VectorElem, G: GraphView>(
     let mut stats = SearchStats::default();
     let mut filter = VisitedFilter::new(params.visited == VisitedMode::Approx, params.beam);
 
-    // Seed the frontier with the start points.
-    let mut frontier: Vec<(u32, f32)> = Vec::with_capacity(params.beam + 1);
-    for &s in starts {
-        if !filter.test_and_insert(s) {
-            let d = distance(query, points.point(s as usize), metric);
-            stats.dist_comps += 1;
-            frontier.push((s, d));
-        }
-    }
+    // Pad the query once so every batched distance evaluation takes the
+    // kernels' aligned full-block path (bit-identical to the logical path;
+    // see `ann_data::simd`).
+    let padded_query = points.pad_query(query);
+    let mut cand_ids: Vec<u32> = Vec::with_capacity(64);
+    let mut cand_dists: Vec<f32> = Vec::with_capacity(64);
+
+    // Seed the frontier with the start points, scored in one batch.
+    cand_ids.extend(
+        starts
+            .iter()
+            .copied()
+            .filter(|&s| !filter.test_and_insert(s)),
+    );
+    distance_batch(&padded_query, &cand_ids, points, metric, &mut cand_dists);
+    stats.dist_comps += cand_ids.len();
+    let mut frontier: Vec<(u32, f32)> = cand_ids
+        .iter()
+        .copied()
+        .zip(cand_dists.iter().copied())
+        .collect();
     frontier.sort_by(cmp_dist);
     frontier.truncate(params.beam);
 
@@ -152,13 +164,20 @@ pub fn beam_search<T: VectorElem, G: GraphView>(
             f32::INFINITY
         };
 
-        candidates.clear();
+        // Score the whole unvisited out-neighborhood in one batched call:
+        // one kernel invocation per neighbor, with the next candidates'
+        // rows prefetched while the current one is scored (paper §4.5's
+        // memory-layout observation, applied to the hot loop).
+        cand_ids.clear();
         for &w in view.out_neighbors(current.0) {
-            if filter.test_and_insert(w) {
-                continue;
+            if !filter.test_and_insert(w) {
+                cand_ids.push(w);
             }
-            let d = distance(query, points.point(w as usize), metric);
-            stats.dist_comps += 1;
+        }
+        distance_batch(&padded_query, &cand_ids, points, metric, &mut cand_dists);
+        stats.dist_comps += cand_ids.len();
+        candidates.clear();
+        for (&w, &d) in cand_ids.iter().zip(cand_dists.iter()) {
             if d >= worst || d > cut_bound {
                 continue;
             }
@@ -233,14 +252,14 @@ mod tests {
         // Layout chosen to match the figure's qualitative geometry:
         // A is the start (far left), the query sits next to H.
         let coords = vec![
-            vec![0.0f32, 0.0],  // A = 0
-            vec![4.0, 2.5],     // B = 1
-            vec![6.5, -0.5],    // C = 2
-            vec![3.0, 0.5],     // D = 3
-            vec![9.0, 3.0],     // E = 4
-            vec![7.0, 1.5],     // F = 5
-            vec![9.5, 0.5],     // G = 6
-            vec![7.5, 0.0],     // H = 7
+            vec![0.0f32, 0.0], // A = 0
+            vec![4.0, 2.5],    // B = 1
+            vec![6.5, -0.5],   // C = 2
+            vec![3.0, 0.5],    // D = 3
+            vec![9.0, 3.0],    // E = 4
+            vec![7.0, 1.5],    // F = 5
+            vec![9.5, 0.5],    // G = 6
+            vec![7.5, 0.0],    // H = 7
         ];
         let points = PointSet::from_rows(&coords);
         let mut g = FlatGraph::new(8, 4);
@@ -269,9 +288,7 @@ mod tests {
 
     fn line_graph(n: usize) -> (PointSet<f32>, FlatGraph) {
         // Points on a line, each connected to its neighbors at distance 1 & 2.
-        let points = PointSet::from_rows(
-            &(0..n).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>(),
-        );
+        let points = PointSet::from_rows(&(0..n).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>());
         let mut g = FlatGraph::new(n, 4);
         for i in 0..n {
             let mut nbrs = Vec::new();

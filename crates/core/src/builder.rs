@@ -19,7 +19,7 @@
 use crate::beam::{beam_search, QueryParams, VisitedMode};
 use crate::graph::FlatGraph;
 use crate::prune::{heuristic_prune, robust_prune};
-use ann_data::{distance, Metric, PointSet, VectorElem};
+use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 use parlay::{flatten, group_by_u32, map_slice};
 use rayon::prelude::*;
 
@@ -145,7 +145,9 @@ pub fn incremental_build<T: VectorElem, P: PruneStrategy<T>>(
         }
         .min(m - done);
         let batch = &order[done..done + batch_size];
-        total_dc += batch_insert(&mut graph, points, metric, start, batch, params, pruner, false);
+        total_dc += batch_insert(
+            &mut graph, points, metric, start, batch, params, pruner, false,
+        );
         done += batch_size;
     }
     (graph, total_dc)
@@ -207,11 +209,17 @@ fn batch_insert<T: VectorElem, P: PruneStrategy<T>>(
         let mut dc = res.stats.dist_comps;
         let mut candidates = res.visited;
         if include_existing {
-            for &w in snapshot.neighbors(p) {
-                let d = distance(points.point(p as usize), points.point(w as usize), metric);
-                dc += 1;
-                candidates.push((w, d));
-            }
+            let existing = snapshot.neighbors(p);
+            let mut dists = Vec::new();
+            distance_batch(
+                points.padded_point(p as usize),
+                existing,
+                points,
+                metric,
+                &mut dists,
+            );
+            dc += existing.len();
+            candidates.extend(existing.iter().copied().zip(dists));
         }
         let out = pruner.prune(p, candidates, points, metric, params.degree, &mut dc);
         (p, out, dc)
@@ -258,14 +266,24 @@ fn batch_insert<T: VectorElem, P: PruneStrategy<T>>(
             }
         }
         if merged.len() > snapshot.max_degree() {
-            let v_pt = points.point(v as usize);
-            let mut candidates = Vec::with_capacity(merged.len());
-            for &id in &merged {
-                let d = distance(v_pt, points.point(id as usize), metric);
-                dc += 1;
-                candidates.push((id, d));
-            }
-            let out = pruner.prune(v, candidates, points, metric, snapshot.max_degree(), &mut dc);
+            let mut dists = Vec::new();
+            distance_batch(
+                points.padded_point(v as usize),
+                &merged,
+                points,
+                metric,
+                &mut dists,
+            );
+            dc += merged.len();
+            let candidates: Vec<(u32, f32)> = merged.iter().copied().zip(dists).collect();
+            let out = pruner.prune(
+                v,
+                candidates,
+                points,
+                metric,
+                snapshot.max_degree(),
+                &mut dc,
+            );
             (v, out, dc)
         } else {
             (v, merged, dc)

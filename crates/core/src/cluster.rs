@@ -29,7 +29,16 @@ pub fn random_cluster_leaves<T: VectorElem>(
     rng: Random,
 ) -> Vec<Vec<u32>> {
     let mut leaves = Vec::new();
-    recurse(points, ids, leaf_size.max(2), metric, rng, 1, &mut leaves, 0);
+    recurse(
+        points,
+        ids,
+        leaf_size.max(2),
+        metric,
+        rng,
+        1,
+        &mut leaves,
+        0,
+    );
     leaves
 }
 
@@ -53,7 +62,18 @@ fn recurse<T: VectorElem>(
     if ids.len() >= PAR_CUTOFF {
         let mut right_out = Vec::new();
         let (_, ()) = rayon::join(
-            || recurse(points, left, leaf_size, metric, rng, 2 * node, out, depth + 1),
+            || {
+                recurse(
+                    points,
+                    left,
+                    leaf_size,
+                    metric,
+                    rng,
+                    2 * node,
+                    out,
+                    depth + 1,
+                )
+            },
             || {
                 recurse(
                     points,
@@ -69,8 +89,26 @@ fn recurse<T: VectorElem>(
         );
         out.append(&mut right_out);
     } else {
-        recurse(points, left, leaf_size, metric, rng, 2 * node, out, depth + 1);
-        recurse(points, right, leaf_size, metric, rng, 2 * node + 1, out, depth + 1);
+        recurse(
+            points,
+            left,
+            leaf_size,
+            metric,
+            rng,
+            2 * node,
+            out,
+            depth + 1,
+        );
+        recurse(
+            points,
+            right,
+            leaf_size,
+            metric,
+            rng,
+            2 * node + 1,
+            out,
+            depth + 1,
+        );
     }
 }
 
@@ -123,13 +161,8 @@ mod tests {
     fn leaves_partition_the_input() {
         let data = bigann_like(3_000, 1, 17);
         let ids: Vec<u32> = (0..3_000u32).collect();
-        let leaves = random_cluster_leaves(
-            &data.points,
-            ids.clone(),
-            100,
-            data.metric,
-            Random::new(5),
-        );
+        let leaves =
+            random_cluster_leaves(&data.points, ids.clone(), 100, data.metric, Random::new(5));
         let mut all: Vec<u32> = leaves.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, ids, "leaves must partition the id set");
@@ -166,13 +199,8 @@ mod tests {
         // midpoint fallback must still terminate with small leaves.
         let points = ann_data::PointSet::new(vec![7u8; 500 * 4], 4);
         let ids: Vec<u32> = (0..500u32).collect();
-        let leaves = random_cluster_leaves(
-            &points,
-            ids,
-            20,
-            Metric::SquaredEuclidean,
-            Random::new(1),
-        );
+        let leaves =
+            random_cluster_leaves(&points, ids, 20, Metric::SquaredEuclidean, Random::new(1));
         assert!(leaves.iter().all(|l| l.len() <= 20));
         assert_eq!(leaves.iter().map(|l| l.len()).sum::<usize>(), 500);
     }

@@ -113,9 +113,7 @@ impl FlatGraph {
             h
         });
         // Order-dependent combine over a fixed order => deterministic.
-        row_hashes
-            .iter()
-            .fold(0u64, |acc, &h| hash64_pair(acc, h))
+        row_hashes.iter().fold(0u64, |acc, &h| hash64_pair(acc, h))
     }
 
     /// A parallel writer over disjoint vertex rows.

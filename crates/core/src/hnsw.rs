@@ -253,7 +253,9 @@ impl<T: VectorElem> HnswIndex<T> {
             let new_rows: Vec<(u32, &Vec<u32>)> = results
                 .iter()
                 .filter_map(|(p, outs, _)| {
-                    outs.iter().find(|&&(ll, _)| ll == l).map(|(_, out)| (*p, out))
+                    outs.iter()
+                        .find(|&&(ll, _)| ll == l)
+                        .map(|(_, out)| (*p, out))
                 })
                 .collect();
             if new_rows.is_empty() {
@@ -286,8 +288,7 @@ impl<T: VectorElem> HnswIndex<T> {
                 let mut dc = 0usize;
                 let existing = layer_ref.graph.neighbors(layer_ref.local(v));
                 let mut merged: Vec<u32> = Vec::with_capacity(existing.len() + grp.len());
-                let mut seen =
-                    std::collections::HashSet::with_capacity(existing.len() + grp.len());
+                let mut seen = std::collections::HashSet::with_capacity(existing.len() + grp.len());
                 for &w in existing {
                     if seen.insert(w) {
                         merged.push(w);
@@ -370,9 +371,9 @@ impl<T: VectorElem> HnswIndex<T> {
 
     /// Deterministic digest over all layers' adjacency.
     pub fn fingerprint(&self) -> u64 {
-        self.layers
-            .iter()
-            .fold(0u64, |acc, l| parlay::hash64_pair(acc, l.graph.fingerprint()))
+        self.layers.iter().fold(0u64, |acc, l| {
+            parlay::hash64_pair(acc, l.graph.fingerprint())
+        })
     }
 }
 

@@ -107,9 +107,11 @@ impl<T: BinaryElem> VamanaIndex<T> {
         write_graph(&mut w, &self.graph)?;
         w.write_all(&[T::WIDTH as u8])?;
         let mut buf = vec![0u8; T::WIDTH];
-        for &x in points.as_flat() {
-            x.encode(&mut buf);
-            w.write_all(&buf)?;
+        for i in 0..points.len() {
+            for &x in points.point(i) {
+                x.encode(&mut buf);
+                w.write_all(&buf)?;
+            }
         }
         w.flush()
     }

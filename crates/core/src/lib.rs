@@ -25,6 +25,11 @@
 //! assert!(recall_ids(&gt, &results, 10, 10) > 0.8);
 //! ```
 
+// Index-heavy numeric code: ranges-with-indexing and large tuple types
+// are idiomatic throughout; these pedantic lints cost more churn than
+// they catch here.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
 pub mod analysis;
 pub mod beam;
 pub mod builder;
@@ -45,9 +50,9 @@ pub mod visited;
 pub use beam::{beam_search, QueryParams, VisitedMode};
 pub use builder::{incremental_build, BuildParams};
 pub use diskann::{VamanaIndex, VamanaParams};
+pub use graph::FlatGraph;
 pub use hcnng::{HcnngIndex, HcnngParams};
 pub use hnsw::{HnswIndex, HnswParams};
-pub use graph::FlatGraph;
 pub use medoid::medoid;
 pub use prune::{heuristic_prune, robust_prune};
 pub use pynndescent::{PyNNDescentIndex, PyNNDescentParams};

@@ -47,9 +47,7 @@ mod tests {
     #[test]
     fn picks_central_point() {
         // Points on a line: medoid of {0, 1, 2, 3, 4} is 2.
-        let points = PointSet::from_rows(
-            &(0..5).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>(),
-        );
+        let points = PointSet::from_rows(&(0..5).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>());
         assert_eq!(medoid(&points), 2);
     }
 

@@ -31,9 +31,21 @@ pub fn paper_presets() -> Vec<PaperPreset> {
         ("pyNNDescent", "BIGANN", "K=40, Ls=100, T=10, alpha=1.2"),
         ("pyNNDescent", "MSSPACEV", "K=60, Ls=100, T=10, alpha=1.2"),
         ("pyNNDescent", "TEXT2IMAGE", "K=60, Ls=100, T=10, alpha=0.9"),
-        ("FAISS", "BIGANN", "OPQ64_128, IVF1048576_HNSW32, PQ128x4fsr"),
-        ("FAISS", "MSSPACEV", "OPQ64_128, IVF1048576_HNSW32, PQ64x4fsr"),
-        ("FAISS", "TEXT2IMAGE", "OPQ64_128, IVF1048576_HNSW32, PQ128x4fsr"),
+        (
+            "FAISS",
+            "BIGANN",
+            "OPQ64_128, IVF1048576_HNSW32, PQ128x4fsr",
+        ),
+        (
+            "FAISS",
+            "MSSPACEV",
+            "OPQ64_128, IVF1048576_HNSW32, PQ64x4fsr",
+        ),
+        (
+            "FAISS",
+            "TEXT2IMAGE",
+            "OPQ64_128, IVF1048576_HNSW32, PQ128x4fsr",
+        ),
     ];
     rows.iter()
         .map(|&(algorithm, dataset, parameters)| PaperPreset {

@@ -13,7 +13,7 @@
 //!   distance to every already-kept neighbor, optionally back-filling with
 //!   pruned candidates (`keep_pruned`, as in hnswlib).
 
-use ann_data::{distance, Metric, PointSet, VectorElem};
+use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 
 /// Sorts candidates by `(distance, id)`, removing `p` itself and duplicates.
 fn normalize(p: u32, candidates: &mut Vec<(u32, f32)>) {
@@ -37,6 +37,11 @@ pub fn robust_prune<T: VectorElem>(
     normalize(p, &mut candidates);
     let mut result: Vec<u32> = Vec::with_capacity(degree_bound);
     let mut alive = vec![true; candidates.len()];
+    // Scratch for the batched distance evaluations: the ids of the still-
+    // alive candidates after `i`, and their positions in `candidates`.
+    let mut batch_ids: Vec<u32> = Vec::with_capacity(candidates.len());
+    let mut batch_pos: Vec<usize> = Vec::with_capacity(candidates.len());
+    let mut batch_dists: Vec<f32> = Vec::new();
     for i in 0..candidates.len() {
         if !alive[i] {
             continue;
@@ -46,15 +51,27 @@ pub fn robust_prune<T: VectorElem>(
         if result.len() == degree_bound {
             break;
         }
-        let star_pt = points.point(star as usize);
-        for j in (i + 1)..candidates.len() {
-            if !alive[j] {
-                continue;
+        // Score `star` against every remaining live candidate in one
+        // batched, prefetched call; `star`'s padded row doubles as the
+        // padded query, so every evaluation takes the full-block path.
+        batch_ids.clear();
+        batch_pos.clear();
+        for (j, &(cand, _)) in candidates.iter().enumerate().skip(i + 1) {
+            if alive[j] {
+                batch_ids.push(cand);
+                batch_pos.push(j);
             }
-            let (cand, d_p_cand) = candidates[j];
-            let d_star_cand = distance(star_pt, points.point(cand as usize), metric);
-            *dist_comps += 1;
-            if alpha * d_star_cand <= d_p_cand {
+        }
+        distance_batch(
+            points.padded_point(star as usize),
+            &batch_ids,
+            points,
+            metric,
+            &mut batch_dists,
+        );
+        *dist_comps += batch_ids.len();
+        for (&j, &d_star_cand) in batch_pos.iter().zip(batch_dists.iter()) {
+            if alpha * d_star_cand <= candidates[j].1 {
                 alive[j] = false;
             }
         }
@@ -67,6 +84,7 @@ pub fn robust_prune<T: VectorElem>(
 /// With `α = 1` this is hnswlib's `getNeighborsByHeuristic2`; `α < 1`
 /// prunes more aggressively (sparser graph), matching the paper's use of
 /// α to equalize average degrees across algorithms (Fig. 7).
+#[allow(clippy::too_many_arguments)]
 pub fn heuristic_prune<T: VectorElem>(
     p: u32,
     mut candidates: Vec<(u32, f32)>,
@@ -80,22 +98,31 @@ pub fn heuristic_prune<T: VectorElem>(
     normalize(p, &mut candidates);
     let mut selected: Vec<(u32, f32)> = Vec::with_capacity(degree_bound);
     let mut discarded: Vec<u32> = Vec::new();
+    let mut sel_ids: Vec<u32> = Vec::with_capacity(degree_bound);
+    let mut sel_dists: Vec<f32> = Vec::new();
     for &(cand, d_p_cand) in &candidates {
         if selected.len() >= degree_bound {
             break;
         }
-        let cand_pt = points.point(cand as usize);
-        let mut good = true;
-        for &(s, _) in &selected {
-            let d_cand_s = distance(cand_pt, points.point(s as usize), metric);
-            *dist_comps += 1;
-            if d_p_cand >= alpha * d_cand_s {
-                good = false;
-                break;
-            }
-        }
+        // One batched call against the whole selected set. This evaluates
+        // every selected neighbor where the scalar loop could early-exit,
+        // but the selected set is at most `degree_bound` rows and the
+        // batch amortizes dispatch and prefetches the rows, which wins in
+        // practice; `dist_comps` stays an honest count of evaluations.
+        distance_batch(
+            points.padded_point(cand as usize),
+            &sel_ids,
+            points,
+            metric,
+            &mut sel_dists,
+        );
+        *dist_comps += sel_ids.len();
+        let good = sel_dists
+            .iter()
+            .all(|&d_cand_s| d_p_cand < alpha * d_cand_s);
         if good {
             selected.push((cand, d_p_cand));
+            sel_ids.push(cand);
         } else if keep_pruned {
             discarded.push(cand);
         }
@@ -115,7 +142,7 @@ pub fn heuristic_prune<T: VectorElem>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ann_data::PointSet;
+    use ann_data::{distance, PointSet};
 
     fn with_dists<T: VectorElem>(
         p: u32,
@@ -150,21 +177,38 @@ mod tests {
         let out = robust_prune(0, cands, &points, m, 1.0, 8, &mut dc);
         assert!(out.contains(&1));
         assert!(out.contains(&3), "different direction must survive");
-        assert!(!out.contains(&2), "long edge of the triangle must be pruned");
+        assert!(
+            !out.contains(&2),
+            "long edge of the triangle must be pruned"
+        );
         assert!(dc > 0);
     }
 
     #[test]
     fn alpha_greater_keeps_more_edges() {
         // Line of points: stricter alpha=1 prunes transitively; alpha=2 keeps more.
-        let points = PointSet::from_rows(
-            &(0..8).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>(),
-        );
+        let points = PointSet::from_rows(&(0..8).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>());
         let m = Metric::SquaredEuclidean;
         let ids: Vec<u32> = (1..8).collect();
         let mut dc = 0;
-        let tight = robust_prune(0, with_dists(0, &ids, &points, m), &points, m, 1.0, 8, &mut dc);
-        let loose = robust_prune(0, with_dists(0, &ids, &points, m), &points, m, 2.0, 8, &mut dc);
+        let tight = robust_prune(
+            0,
+            with_dists(0, &ids, &points, m),
+            &points,
+            m,
+            1.0,
+            8,
+            &mut dc,
+        );
+        let loose = robust_prune(
+            0,
+            with_dists(0, &ids, &points, m),
+            &points,
+            m,
+            2.0,
+            8,
+            &mut dc,
+        );
         assert!(loose.len() >= tight.len());
         assert!(tight.contains(&1));
     }
@@ -172,13 +216,23 @@ mod tests {
     #[test]
     fn respects_degree_bound_and_orders_closest_first() {
         let points = PointSet::from_rows(
-            &(0..20).map(|i| vec![i as f32 * i as f32, 1.0]).collect::<Vec<_>>(),
+            &(0..20)
+                .map(|i| vec![i as f32 * i as f32, 1.0])
+                .collect::<Vec<_>>(),
         );
         let m = Metric::SquaredEuclidean;
         let ids: Vec<u32> = (1..20).collect();
         let mut dc = 0;
         // alpha huge => nothing pruned by the rule; bound must cap output.
-        let out = robust_prune(0, with_dists(0, &ids, &points, m), &points, m, 1e9, 5, &mut dc);
+        let out = robust_prune(
+            0,
+            with_dists(0, &ids, &points, m),
+            &points,
+            m,
+            1e9,
+            5,
+            &mut dc,
+        );
         assert_eq!(out.len(), 5);
         assert_eq!(out[0], 1, "closest candidate is always kept first");
     }
@@ -232,7 +286,9 @@ mod tests {
     #[test]
     fn deterministic_under_candidate_order() {
         let points = PointSet::from_rows(
-            &(0..30).map(|i| vec![(i as f32).sin() * 10.0, (i as f32).cos() * 10.0]).collect::<Vec<_>>(),
+            &(0..30)
+                .map(|i| vec![(i as f32).sin() * 10.0, (i as f32).cos() * 10.0])
+                .collect::<Vec<_>>(),
         );
         let m = Metric::SquaredEuclidean;
         let ids: Vec<u32> = (1..30).collect();

@@ -212,8 +212,7 @@ impl<T: VectorElem> PyNNDescentIndex<T> {
                 .par_iter()
                 .map(|(v, out, _)| {
                     let mut merged = out.clone();
-                    let mut seen: std::collections::HashSet<u32> =
-                        merged.iter().copied().collect();
+                    let mut seen: std::collections::HashSet<u32> = merged.iter().copied().collect();
                     for &r in &rev_rows[*v as usize] {
                         if merged.len() >= 2 * params.k {
                             break;
@@ -298,8 +297,7 @@ impl<T: VectorElem> PyNNDescentIndex<T> {
                     let pt = points.point(p);
                     let mut dc = 0u64;
                     // One-hop (undirected) neighborhood of p.
-                    let mut hop1: Vec<u32> =
-                        rows[p].iter().map(|&(id, _)| id).collect();
+                    let mut hop1: Vec<u32> = rows[p].iter().map(|&(id, _)| id).collect();
                     hop1.extend_from_slice(&incoming[p]);
                     hop1.sort_unstable();
                     hop1.dedup();
@@ -385,8 +383,11 @@ mod tests {
     #[test]
     fn builds_and_reaches_high_recall() {
         let data = bigann_like(2_000, 50, 55);
-        let index =
-            PyNNDescentIndex::build(data.points.clone(), data.metric, &PyNNDescentParams::default());
+        let index = PyNNDescentIndex::build(
+            data.points.clone(),
+            data.metric,
+            &PyNNDescentParams::default(),
+        );
         let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
         let qp = QueryParams {
             beam: 64,
@@ -498,6 +499,10 @@ mod tests {
             ..PyNNDescentParams::default()
         };
         let index = PyNNDescentIndex::build(data.points.clone(), data.metric, &params);
-        assert!(index.rounds < 20, "never converged: {} rounds", index.rounds);
+        assert!(
+            index.rounds < 20,
+            "never converged: {} rounds",
+            index.rounds
+        );
     }
 }

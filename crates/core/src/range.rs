@@ -14,7 +14,7 @@
 
 use crate::beam::{beam_search, GraphView, QueryParams};
 use crate::stats::SearchStats;
-use ann_data::{distance, Metric, PointSet, VectorElem};
+use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 
 /// Parameters for [`range_search`].
 #[derive(Clone, Copy, Debug)]
@@ -103,18 +103,27 @@ pub fn range_search<T: VectorElem, G: GraphView>(
         }
     }
     let mut expanded = 0usize;
+    // Flood expansion scores each vertex's unseen out-neighborhood in one
+    // batched, prefetched call (same hot path as beam search).
+    let padded_query = points.pad_query(query);
+    let mut batch_ids: Vec<u32> = Vec::with_capacity(64);
+    let mut batch_dists: Vec<f32> = Vec::with_capacity(64);
     while let Some(v) = stack.pop() {
         if expanded >= params.limit {
             break;
         }
         expanded += 1;
         stats.hops += 1;
+        batch_ids.clear();
         for &w in view.out_neighbors(v) {
             if seen.insert(w) {
-                let d = distance(query, points.point(w as usize), metric);
-                stats.dist_comps += 1;
-                seed(w, d, &mut stack, &mut results);
+                batch_ids.push(w);
             }
+        }
+        distance_batch(&padded_query, &batch_ids, points, metric, &mut batch_dists);
+        stats.dist_comps += batch_ids.len();
+        for (&w, &d) in batch_ids.iter().zip(batch_dists.iter()) {
+            seed(w, d, &mut stack, &mut results);
         }
     }
     results.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
@@ -123,7 +132,11 @@ pub fn range_search<T: VectorElem, G: GraphView>(
 
 impl<T: VectorElem> crate::diskann::VamanaIndex<T> {
     /// Range search from the index's start point (see [`range_search`]).
-    pub fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+    pub fn range_search(
+        &self,
+        query: &[T],
+        params: &RangeParams,
+    ) -> (Vec<(u32, f32)>, SearchStats) {
         range_search(
             query,
             self.points(),
@@ -140,6 +153,7 @@ mod tests {
     use super::*;
     use crate::diskann::{VamanaIndex, VamanaParams};
     use ann_data::bigann_like;
+    use ann_data::distance;
 
     fn brute_force_ball(
         points: &PointSet<u8>,

@@ -89,7 +89,7 @@ mod tests {
     fn never_reports_unseen_as_seen() {
         let mut f = ApproxFilter::for_beam(16);
         for id in 0..10_000u32 {
-            assert!(!f.contains(id) || false, "fresh id must not be present");
+            assert!(!f.contains(id), "fresh id must not be present");
             // test_and_insert on a fresh id may only return true if that id
             // is literally stored — impossible before insertion.
             let seen = f.test_and_insert(id);

@@ -207,10 +207,10 @@ mod tests {
     fn generators_are_deterministic() {
         let a = bigann_like(500, 10, 42);
         let b = bigann_like(500, 10, 42);
-        assert_eq!(a.points.as_flat(), b.points.as_flat());
-        assert_eq!(a.queries.as_flat(), b.queries.as_flat());
+        assert_eq!(a.points.to_flat(), b.points.to_flat());
+        assert_eq!(a.queries.to_flat(), b.queries.to_flat());
         let c = bigann_like(500, 10, 43);
-        assert_ne!(a.points.as_flat(), c.points.as_flat());
+        assert_ne!(a.points.to_flat(), c.points.to_flat());
     }
 
     #[test]
@@ -218,7 +218,7 @@ mod tests {
         // Generating n points then taking a prefix equals generating fewer.
         let big = msspacev_like(400, 5, 7);
         let small = msspacev_like(150, 5, 7);
-        assert_eq!(big.points.prefix(150).as_flat(), small.points.as_flat());
+        assert_eq!(big.points.prefix(150).to_flat(), small.points.to_flat());
     }
 
     #[test]
@@ -270,7 +270,13 @@ mod tests {
             .map(|i| {
                 (0..t.points.len())
                     .filter(|&j| j != i)
-                    .map(|j| distance(t.points.point(i), t.points.point(j), Metric::SquaredEuclidean))
+                    .map(|j| {
+                        distance(
+                            t.points.point(i),
+                            t.points.point(j),
+                            Metric::SquaredEuclidean,
+                        )
+                    })
                     .fold(f32::INFINITY, f32::min)
             })
             .sum::<f32>()

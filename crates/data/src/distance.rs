@@ -1,16 +1,25 @@
-//! Distance kernels.
+//! Distance functions over the runtime-dispatched SIMD kernels.
 //!
 //! Distance comparisons dominate ANNS cost (paper §5.5 measures them
-//! directly), so the kernels are written with four independent accumulators
-//! over fixed-order chunks: the compiler autovectorizes them, and the fixed
-//! order keeps `f32` results bit-identical regardless of parallelism (each
-//! pairwise distance is always computed by a single thread in a fixed order).
+//! directly). The public API here is unchanged-safe — plain slices in,
+//! `f32` out — while the arithmetic runs on the best instruction set the
+//! CPU offers (see [`crate::simd`] for the dispatch tiers, block
+//! structure, and determinism contract).
 //!
-//! For `u8`/`i8` inputs at the paper's dimensionalities (≤ 256), `f32`
-//! accumulation of integer products is exact (all intermediate values fit in
-//! 24 bits of mantissa), so quantized kernels are both fast and exact.
+//! **Length contract:** `a` and `b` must have equal lengths. Mismatched
+//! lengths are a bug in the caller — typically a dimension mix-up that
+//! padded storage would otherwise mask — and are caught by a
+//! `debug_assert!` here plus an unconditional assertion in the unsafe
+//! kernel layer (where equal lengths are a memory-safety precondition).
+//! Earlier revisions silently truncated to the shorter input; that
+//! behaviour is gone.
+//!
+//! For `u8`/`i8` inputs the kernels accumulate exactly in wide integers,
+//! so quantized distances are exact at any dimensionality (and bit-equal
+//! across all dispatch tiers).
 
-use crate::point::VectorElem;
+use crate::point::{PointSet, VectorElem};
+use crate::simd;
 
 /// The distance functions used across the paper's datasets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -34,10 +43,11 @@ impl Metric {
     }
 }
 
-/// Distance between two vectors under `metric`. Smaller is more similar.
+/// Distance between two equal-length vectors under `metric`. Smaller is
+/// more similar.
 #[inline]
 pub fn distance<T: VectorElem>(a: &[T], b: &[T], metric: Metric) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), b.len(), "distance() requires equal-length vectors");
     match metric {
         Metric::SquaredEuclidean => squared_euclidean(a, b),
         Metric::InnerProduct => -dot(a, b),
@@ -56,78 +66,82 @@ pub fn distance<T: VectorElem>(a: &[T], b: &[T], metric: Metric) -> f32 {
 /// Squared L2 norm of a vector.
 #[inline]
 pub fn norm_squared<T: VectorElem>(a: &[T]) -> f32 {
-    squared_euclidean_zero(a)
+    T::kernel_norm_squared(a)
 }
 
-/// Squared Euclidean distance with 4-way unrolled accumulation.
+/// Squared Euclidean distance between equal-length vectors (dispatched).
 #[inline]
 pub fn squared_euclidean<T: VectorElem>(a: &[T], b: &[T]) -> f32 {
-    let n = a.len().min(b.len());
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    let chunks = n / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        let d0 = a[i].to_f32() - b[i].to_f32();
-        let d1 = a[i + 1].to_f32() - b[i + 1].to_f32();
-        let d2 = a[i + 2].to_f32() - b[i + 2].to_f32();
-        let d3 = a[i + 3].to_f32() - b[i + 3].to_f32();
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for i in chunks * 4..n {
-        let d = a[i].to_f32() - b[i].to_f32();
-        s += d * d;
-    }
-    s
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "squared_euclidean() requires equal-length vectors"
+    );
+    T::kernel_squared_euclidean(a, b)
 }
 
-#[inline]
-fn squared_euclidean_zero<T: VectorElem>(a: &[T]) -> f32 {
-    let n = a.len();
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    let chunks = n / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        let (d0, d1, d2, d3) = (
-            a[i].to_f32(),
-            a[i + 1].to_f32(),
-            a[i + 2].to_f32(),
-            a[i + 3].to_f32(),
-        );
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for i in chunks * 4..n {
-        let d = a[i].to_f32();
-        s += d * d;
-    }
-    s
-}
-
-/// Dot product with 4-way unrolled accumulation.
+/// Dot product of equal-length vectors (dispatched).
 #[inline]
 pub fn dot<T: VectorElem>(a: &[T], b: &[T]) -> f32 {
-    let n = a.len().min(b.len());
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    let chunks = n / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        s0 += a[i].to_f32() * b[i].to_f32();
-        s1 += a[i + 1].to_f32() * b[i + 1].to_f32();
-        s2 += a[i + 2].to_f32() * b[i + 2].to_f32();
-        s3 += a[i + 3].to_f32() * b[i + 3].to_f32();
+    debug_assert_eq!(a.len(), b.len(), "dot() requires equal-length vectors");
+    T::kernel_dot(a, b)
+}
+
+/// How many candidates ahead [`distance_batch`] prefetches. Two rows keeps
+/// one row in flight while the current one is scored — enough to cover
+/// DRAM latency at the ~100 ns/row cost of a 128-d kernel evaluation.
+const PREFETCH_AHEAD: usize = 2;
+
+/// Scores `query` against `points[ids[j]]` for every `j`, writing
+/// distances into `out` (cleared first; `out[j]` corresponds to `ids[j]`).
+///
+/// This is the batched hot path for beam-search frontier expansion and
+/// build-time pruning: while candidate `j` is being scored, the rows of
+/// candidates `j+1..j+1+`[`PREFETCH_AHEAD`] are software-prefetched, hiding
+/// the cache misses that dominate graph traversal over large point sets
+/// (paper §4.5).
+///
+/// `query` may be either a logical vector (length `points.dim()`) or a
+/// padded one from [`PointSet::pad_query`] (length `points.padded_dim()`).
+/// The padded form lets every kernel call take the full-block path; both
+/// forms produce bit-identical distances (the kernel block structure
+/// guarantees it), so results never depend on which path a caller took.
+///
+/// Output is a pure function of `(query, ids, points, metric)` — the
+/// batch is scored sequentially on the calling thread, so determinism
+/// across thread counts is inherited from the caller's batching, exactly
+/// like the scalar path it replaces.
+pub fn distance_batch<T: VectorElem>(
+    query: &[T],
+    ids: &[u32],
+    points: &PointSet<T>,
+    metric: Metric,
+    out: &mut Vec<f32>,
+) {
+    let dim = points.dim();
+    let stride = points.padded_dim();
+    assert!(
+        query.len() == dim || query.len() == stride,
+        "distance_batch() query length {} matches neither dim {} nor padded dim {}",
+        query.len(),
+        dim,
+        stride
+    );
+    let row_len = query.len();
+    out.clear();
+    out.reserve(ids.len());
+    for (j, &id) in ids.iter().enumerate() {
+        if j == 0 {
+            for &ahead in ids.iter().take(PREFETCH_AHEAD.min(ids.len())) {
+                simd::prefetch_read(points.padded_point(ahead as usize));
+            }
+        }
+        if let Some(&ahead) = ids.get(j + PREFETCH_AHEAD) {
+            simd::prefetch_read(points.padded_point(ahead as usize));
+        }
+        let row = &points.padded_point(id as usize)[..row_len];
+        out.push(distance(query, row, metric));
     }
-    let mut s = (s0 + s1) + (s2 + s3);
-    for i in chunks * 4..n {
-        s += a[i].to_f32() * b[i].to_f32();
-    }
-    s
 }
 
 #[cfg(test)]
@@ -208,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn odd_lengths_hit_remainder_loop() {
+    fn odd_lengths_hit_remainder_path() {
         for d in [1usize, 2, 3, 5, 7, 9] {
             let a: Vec<f32> = (0..d).map(|i| i as f32).collect();
             let b: Vec<f32> = (0..d).map(|i| (i + 1) as f32).collect();
@@ -220,5 +234,64 @@ mod tests {
     fn norm_squared_matches_self_dot() {
         let a: Vec<f32> = (0..33).map(|i| (i as f32) * 0.25).collect();
         assert!((norm_squared(&a) - dot(&a, &a)).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    #[cfg(debug_assertions)]
+    fn mismatched_lengths_are_rejected() {
+        let a = vec![1.0f32; 8];
+        let b = vec![1.0f32; 7];
+        squared_euclidean(&a, &b);
+    }
+
+    #[test]
+    fn batch_matches_single_calls_for_all_metrics() {
+        let points = PointSet::new((0u8..=199).collect::<Vec<_>>(), 10);
+        let query: Vec<u8> = (100..110).collect();
+        let ids: Vec<u32> = vec![3, 0, 19, 7, 7, 12];
+        for metric in [
+            Metric::SquaredEuclidean,
+            Metric::InnerProduct,
+            Metric::Cosine,
+        ] {
+            let mut out = Vec::new();
+            distance_batch(&query, &ids, &points, metric, &mut out);
+            assert_eq!(out.len(), ids.len());
+            for (j, &id) in ids.iter().enumerate() {
+                assert_eq!(out[j], distance(&query, points.point(id as usize), metric));
+            }
+            // Padded query takes the aligned full-block path; results must
+            // be bit-identical.
+            let padded = points.pad_query(&query);
+            let mut out2 = Vec::new();
+            distance_batch(&padded, &ids, &points, metric, &mut out2);
+            for (a, b) in out.iter().zip(&out2) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_f32_padded_equals_logical_bitwise() {
+        let rows: Vec<Vec<f32>> = (0..50)
+            .map(|i| {
+                (0..37)
+                    .map(|j| ((i * 37 + j) as f32).sin() * 10.0)
+                    .collect()
+            })
+            .collect();
+        let points = PointSet::from_rows(&rows);
+        let query = rows[0].clone();
+        let ids: Vec<u32> = (0..50).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        distance_batch(&query, &ids, &points, Metric::SquaredEuclidean, &mut a);
+        let padded = points.pad_query(&query);
+        distance_batch(&padded, &ids, &points, Metric::SquaredEuclidean, &mut b);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a[0], 0.0);
     }
 }

@@ -80,7 +80,10 @@ pub fn compute_ground_truth<T: VectorElem>(
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
         for i in 0..n {
             let d = distance(q, points.point(i), metric);
-            let item = HeapItem { dist: d, id: i as u32 };
+            let item = HeapItem {
+                dist: d,
+                id: i as u32,
+            };
             if heap.len() < k {
                 heap.push(item);
             } else if item < *heap.peek().expect("nonempty") {

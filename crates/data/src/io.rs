@@ -111,9 +111,11 @@ pub fn write_bin<T: BinaryElem>(path: &Path, points: &PointSet<T>) -> io::Result
     w.write_all(&(points.len() as u32).to_le_bytes())?;
     w.write_all(&(points.dim() as u32).to_le_bytes())?;
     let mut buf = vec![0u8; T::WIDTH];
-    for &x in points.as_flat() {
-        x.encode(&mut buf);
-        w.write_all(&buf)?;
+    for i in 0..points.len() {
+        for &x in points.point(i) {
+            x.encode(&mut buf);
+            w.write_all(&buf)?;
+        }
     }
     w.flush()
 }

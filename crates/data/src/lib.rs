@@ -8,7 +8,10 @@
 //! * [`PointSet`] — flat, cache-friendly storage of `n × d` vectors with the
 //!   element types the paper uses (`u8`, `i8`, `f32`);
 //! * [`distance`] — the paper's metrics (squared Euclidean for
-//!   BIGANN/MSSPACEV, negative inner product for TEXT2IMAGE, plus cosine);
+//!   BIGANN/MSSPACEV, negative inner product for TEXT2IMAGE, plus cosine),
+//!   including the batched, prefetching [`distance_batch`] hot path;
+//! * [`simd`] — the runtime-dispatched AVX2/SSE2/scalar kernels behind
+//!   every distance evaluation, with their determinism contract;
 //! * [`datasets`] — deterministic synthetic generators that mimic each
 //!   dataset's element type, dimensionality, cluster structure, and (for
 //!   TEXT2IMAGE) the out-of-distribution query property;
@@ -21,8 +24,10 @@ pub mod distance;
 pub mod ground_truth;
 pub mod io;
 pub mod point;
+pub mod simd;
 
 pub use datasets::{bigann_like, msspacev_like, text2image_like, Dataset};
-pub use distance::{distance, norm_squared, Metric};
+pub use distance::{distance, distance_batch, dot, norm_squared, squared_euclidean, Metric};
 pub use ground_truth::{compute_ground_truth, recall_ids, recall_with_dists, GroundTruth};
 pub use point::{PointSet, VectorElem};
+pub use simd::{simd_level, SimdLevel};

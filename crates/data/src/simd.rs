@@ -1,0 +1,973 @@
+//! Explicit SIMD distance kernels with runtime dispatch.
+//!
+//! Distance comparisons dominate ANNS cost (paper §5.5), so this module
+//! replaces compiler autovectorization with explicit kernels:
+//!
+//! * **Dispatch tiers** — AVX2, SSE2 (the x86-64 baseline), and a portable
+//!   scalar fallback. The tier is detected once per process with
+//!   [`std::arch::is_x86_feature_detected!`] and cached; the environment
+//!   variable `PARLAYANN_SIMD` (`scalar` / `sse2` / `avx2`) can force a
+//!   lower tier for A/B testing. All callers go through the safe
+//!   [`crate::distance`] API — no caller ever touches an intrinsic.
+//!
+//! * **Block structure** — every kernel consumes its input in fixed
+//!   64-byte blocks ([`BLOCK_BYTES`]): 16 `f32` lanes or 64 `u8`/`i8`
+//!   lanes per block. A trailing partial block is copied into a zeroed
+//!   stack buffer and run through the *same* block step, so a vector of
+//!   length `d` produces **bit-identical** results to the same vector
+//!   zero-padded to [`padded_dim`] — which is exactly how
+//!   [`crate::PointSet`] stores rows. Batched (padded-row) and one-off
+//!   (logical-row) evaluations therefore never disagree.
+//!
+//! * **Determinism** — integer kernels accumulate exactly (i32/i64 lanes;
+//!   every intermediate fits), so SIMD and scalar results are bit-equal.
+//!   `f32` kernels use a fixed lane count and a documented horizontal
+//!   reduction order (`((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, accumulator
+//!   0 before accumulator 1), so results depend only on the input — never
+//!   on threads or schedule. Different *tiers* may round `f32` results
+//!   differently (within ~1e-4 relative), but a process uses one tier for
+//!   its whole lifetime, so every index build and search is internally
+//!   consistent and reproducible on the same hardware.
+//!
+//! One (documented) sharp edge: in the scalar tier, a zero-padded `dot`
+//! evaluation can turn a `-0.0` partial sum into `+0.0` (IEEE addition of
+//! `+0.0`). The two compare equal; only bit-level inspection can tell.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Kernel rows and blocks are sized in 64-byte units (one cache line).
+pub const BLOCK_BYTES: usize = 64;
+
+/// Number of `T` elements in one kernel block.
+#[inline]
+pub const fn block_elems<T>() -> usize {
+    BLOCK_BYTES / std::mem::size_of::<T>()
+}
+
+/// Rounds `dim` up to a whole number of kernel blocks — the row stride
+/// [`crate::PointSet`] allocates so kernels never need a remainder loop
+/// and every row starts on a 64-byte boundary.
+#[inline]
+pub const fn padded_dim<T>(dim: usize) -> usize {
+    let b = block_elems::<T>();
+    dim.div_ceil(b) * b
+}
+
+/// The instruction tier the dispatcher selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable Rust (the only tier off x86-64).
+    Scalar,
+    /// 128-bit SSE2 (always available on x86-64).
+    Sse2,
+    /// 256-bit AVX2.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Short display name (`"scalar"` / `"sse2"` / `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 0 = undetected, otherwise `SimdLevel as u8 + 1`.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// The dispatch tier in use: the best instruction set the CPU supports,
+/// optionally capped by `PARLAYANN_SIMD=scalar|sse2|avx2`. Detected once
+/// and cached for the process lifetime.
+#[inline]
+pub fn simd_level() -> SimdLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => SimdLevel::Scalar,
+        2 => SimdLevel::Sse2,
+        3 => SimdLevel::Avx2,
+        _ => detect_and_cache(),
+    }
+}
+
+#[cold]
+fn detect_and_cache() -> SimdLevel {
+    let hw = hardware_level();
+    let level = match std::env::var("PARLAYANN_SIMD").ok().as_deref() {
+        Some("scalar") => SimdLevel::Scalar,
+        Some("sse2") => hw.min(SimdLevel::Sse2),
+        Some("avx2") | Some("auto") | None => hw,
+        Some(other) => {
+            eprintln!(
+                "PARLAYANN_SIMD={other:?} not recognized; using {}",
+                hw.name()
+            );
+            hw
+        }
+    };
+    LEVEL.store(level as u8 + 1, Ordering::Relaxed);
+    level
+}
+
+#[cfg(target_arch = "x86_64")]
+fn hardware_level() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else {
+        // SSE2 is part of the x86-64 baseline.
+        SimdLevel::Sse2
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn hardware_level() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+/// Issues a T0 prefetch for every cache line of `row` (no-op off x86-64).
+/// Used by [`crate::distance::distance_batch`] to hide the DRAM latency of
+/// the next candidates' rows behind the current distance computation.
+#[inline(always)]
+pub fn prefetch_read<T>(row: &[T]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let bytes = std::mem::size_of_val(row);
+        let p = row.as_ptr() as *const i8;
+        let mut off = 0usize;
+        while off < bytes {
+            // SAFETY: prefetch is a hint; `p + off` stays within (or at the
+            // end of) the referenced slice's allocation.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(p.add(off)) };
+            off += BLOCK_BYTES;
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = row;
+    }
+}
+
+pub mod scalar {
+    //! Portable reference kernels.
+    //!
+    //! These are the fallback tier *and* the reference the property tests
+    //! compare the vector tiers against. Integer kernels accumulate in
+    //! 64-bit integers (exact for any realistic dimension), `f32` kernels
+    //! use four fixed accumulator lanes with the trailing elements assigned
+    //! to the lane they would occupy after zero-padding.
+
+    use crate::point::VectorElem;
+
+    /// Squared Euclidean distance, generic 4-lane accumulation.
+    pub fn squared_euclidean<T: VectorElem>(a: &[T], b: &[T]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+        let n = a.len();
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let blocks = n / 4;
+        for c in 0..blocks {
+            let i = c * 4;
+            let d0 = a[i].to_f32() - b[i].to_f32();
+            let d1 = a[i + 1].to_f32() - b[i + 1].to_f32();
+            let d2 = a[i + 2].to_f32() - b[i + 2].to_f32();
+            let d3 = a[i + 3].to_f32() - b[i + 3].to_f32();
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+        }
+        // The tail lands in the same lanes a zero-padded buffer would use,
+        // so padded and unpadded evaluations agree bit-for-bit.
+        for i in blocks * 4..n {
+            let d = a[i].to_f32() - b[i].to_f32();
+            match i % 4 {
+                0 => s0 += d * d,
+                1 => s1 += d * d,
+                2 => s2 += d * d,
+                _ => s3 += d * d,
+            }
+        }
+        (s0 + s1) + (s2 + s3)
+    }
+
+    /// Dot product, generic 4-lane accumulation.
+    pub fn dot<T: VectorElem>(a: &[T], b: &[T]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+        let n = a.len();
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let blocks = n / 4;
+        for c in 0..blocks {
+            let i = c * 4;
+            s0 += a[i].to_f32() * b[i].to_f32();
+            s1 += a[i + 1].to_f32() * b[i + 1].to_f32();
+            s2 += a[i + 2].to_f32() * b[i + 2].to_f32();
+            s3 += a[i + 3].to_f32() * b[i + 3].to_f32();
+        }
+        for i in blocks * 4..n {
+            let p = a[i].to_f32() * b[i].to_f32();
+            match i % 4 {
+                0 => s0 += p,
+                1 => s1 += p,
+                2 => s2 += p,
+                _ => s3 += p,
+            }
+        }
+        (s0 + s1) + (s2 + s3)
+    }
+
+    /// Exact integer squared Euclidean for `u8` (i64 accumulation).
+    pub fn squared_euclidean_u8(a: &[u8], b: &[u8]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+        let mut s = 0i64;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x as i64 - y as i64;
+            s += d * d;
+        }
+        s as f32
+    }
+
+    /// Exact integer dot product for `u8`.
+    pub fn dot_u8(a: &[u8], b: &[u8]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+        let mut s = 0i64;
+        for (&x, &y) in a.iter().zip(b) {
+            s += x as i64 * y as i64;
+        }
+        s as f32
+    }
+
+    /// Exact integer squared Euclidean for `i8`.
+    pub fn squared_euclidean_i8(a: &[i8], b: &[i8]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+        let mut s = 0i64;
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x as i64 - y as i64;
+            s += d * d;
+        }
+        s as f32
+    }
+
+    /// Exact integer dot product for `i8`.
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> f32 {
+        assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+        let mut s = 0i64;
+        for (&x, &y) in a.iter().zip(b) {
+            s += x as i64 * y as i64;
+        }
+        s as f32
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2 and SSE2 kernels.
+    //!
+    //! Shared invariants (see the module docs): 64-byte blocks, masked
+    //! (zero-padded) tail through the identical block step, fixed
+    //! reduction order, exact integer accumulation.
+
+    pub mod avx2 {
+        use std::arch::x86_64::*;
+
+        /// Fixed-order horizontal sum of two 8-lane accumulators.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn reduce2_f32(acc0: __m256, acc1: __m256) -> f32 {
+            let mut l0 = [0.0f32; 8];
+            let mut l1 = [0.0f32; 8];
+            _mm256_storeu_ps(l0.as_mut_ptr(), acc0);
+            _mm256_storeu_ps(l1.as_mut_ptr(), acc1);
+            let s0 = ((l0[0] + l0[1]) + (l0[2] + l0[3])) + ((l0[4] + l0[5]) + (l0[6] + l0[7]));
+            let s1 = ((l1[0] + l1[1]) + (l1[2] + l1[3])) + ((l1[4] + l1[5]) + (l1[6] + l1[7]));
+            s0 + s1
+        }
+
+        /// Exact horizontal sum of an 8-lane i32 accumulator into i64.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn reduce_i32(acc: __m256i) -> i64 {
+            let mut l = [0i32; 8];
+            _mm256_storeu_si256(l.as_mut_ptr() as *mut __m256i, acc);
+            l.iter().map(|&x| x as i64).sum()
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn squared_euclidean_f32(a: &[f32], b: &[f32]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 16;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            for i in 0..blocks {
+                let o = i * 16;
+                let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(o)), _mm256_loadu_ps(pb.add(o)));
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d0, d0));
+                let d1 = _mm256_sub_ps(
+                    _mm256_loadu_ps(pa.add(o + 8)),
+                    _mm256_loadu_ps(pb.add(o + 8)),
+                );
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(d1, d1));
+            }
+            let rem = n - blocks * 16;
+            if rem > 0 {
+                let mut ta = [0.0f32; 16];
+                let mut tb = [0.0f32; 16];
+                ta[..rem].copy_from_slice(&a[blocks * 16..]);
+                tb[..rem].copy_from_slice(&b[blocks * 16..]);
+                let d0 = _mm256_sub_ps(_mm256_loadu_ps(ta.as_ptr()), _mm256_loadu_ps(tb.as_ptr()));
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d0, d0));
+                let d1 = _mm256_sub_ps(
+                    _mm256_loadu_ps(ta.as_ptr().add(8)),
+                    _mm256_loadu_ps(tb.as_ptr().add(8)),
+                );
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(d1, d1));
+            }
+            reduce2_f32(acc0, acc1)
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 16;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            for i in 0..blocks {
+                let o = i * 16;
+                acc0 = _mm256_add_ps(
+                    acc0,
+                    _mm256_mul_ps(_mm256_loadu_ps(pa.add(o)), _mm256_loadu_ps(pb.add(o))),
+                );
+                acc1 = _mm256_add_ps(
+                    acc1,
+                    _mm256_mul_ps(
+                        _mm256_loadu_ps(pa.add(o + 8)),
+                        _mm256_loadu_ps(pb.add(o + 8)),
+                    ),
+                );
+            }
+            let rem = n - blocks * 16;
+            if rem > 0 {
+                let mut ta = [0.0f32; 16];
+                let mut tb = [0.0f32; 16];
+                ta[..rem].copy_from_slice(&a[blocks * 16..]);
+                tb[..rem].copy_from_slice(&b[blocks * 16..]);
+                acc0 = _mm256_add_ps(
+                    acc0,
+                    _mm256_mul_ps(_mm256_loadu_ps(ta.as_ptr()), _mm256_loadu_ps(tb.as_ptr())),
+                );
+                acc1 = _mm256_add_ps(
+                    acc1,
+                    _mm256_mul_ps(
+                        _mm256_loadu_ps(ta.as_ptr().add(8)),
+                        _mm256_loadu_ps(tb.as_ptr().add(8)),
+                    ),
+                );
+            }
+            reduce2_f32(acc0, acc1)
+        }
+
+        /// One 32-byte step of u8 squared Euclidean: widen to i16, diff,
+        /// square-and-pair-sum into 8 i32 lanes.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn sq_u8_step(acc: __m256i, pa: *const u8, pb: *const u8) -> __m256i {
+            let va = _mm256_loadu_si256(pa as *const __m256i);
+            let vb = _mm256_loadu_si256(pb as *const __m256i);
+            let zero = _mm256_setzero_si256();
+            // unpack interleaves within 128-bit halves; the resulting lane
+            // order is fixed, and integer sums are order-independent.
+            let alo = _mm256_unpacklo_epi8(va, zero);
+            let ahi = _mm256_unpackhi_epi8(va, zero);
+            let blo = _mm256_unpacklo_epi8(vb, zero);
+            let bhi = _mm256_unpackhi_epi8(vb, zero);
+            let dlo = _mm256_sub_epi16(alo, blo);
+            let dhi = _mm256_sub_epi16(ahi, bhi);
+            let acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dlo, dlo));
+            _mm256_add_epi32(acc, _mm256_madd_epi16(dhi, dhi))
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn squared_euclidean_u8(a: &[u8], b: &[u8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_si256();
+            for i in 0..blocks {
+                let o = i * 64;
+                acc = sq_u8_step(acc, pa.add(o), pb.add(o));
+                acc = sq_u8_step(acc, pa.add(o + 32), pb.add(o + 32));
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0u8; 64];
+                let mut tb = [0u8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                acc = sq_u8_step(acc, ta.as_ptr(), tb.as_ptr());
+                acc = sq_u8_step(acc, ta.as_ptr().add(32), tb.as_ptr().add(32));
+            }
+            reduce_i32(acc) as f32
+        }
+
+        /// One 32-byte step of u8 dot product.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn dot_u8_step(acc: __m256i, pa: *const u8, pb: *const u8) -> __m256i {
+            let va = _mm256_loadu_si256(pa as *const __m256i);
+            let vb = _mm256_loadu_si256(pb as *const __m256i);
+            let zero = _mm256_setzero_si256();
+            let alo = _mm256_unpacklo_epi8(va, zero);
+            let ahi = _mm256_unpackhi_epi8(va, zero);
+            let blo = _mm256_unpacklo_epi8(vb, zero);
+            let bhi = _mm256_unpackhi_epi8(vb, zero);
+            let acc = _mm256_add_epi32(acc, _mm256_madd_epi16(alo, blo));
+            _mm256_add_epi32(acc, _mm256_madd_epi16(ahi, bhi))
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn dot_u8(a: &[u8], b: &[u8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_si256();
+            for i in 0..blocks {
+                let o = i * 64;
+                acc = dot_u8_step(acc, pa.add(o), pb.add(o));
+                acc = dot_u8_step(acc, pa.add(o + 32), pb.add(o + 32));
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0u8; 64];
+                let mut tb = [0u8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                acc = dot_u8_step(acc, ta.as_ptr(), tb.as_ptr());
+                acc = dot_u8_step(acc, ta.as_ptr().add(32), tb.as_ptr().add(32));
+            }
+            reduce_i32(acc) as f32
+        }
+
+        /// One 32-byte step of i8 squared Euclidean (sign-extending widen).
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn sq_i8_step(acc: __m256i, pa: *const i8, pb: *const i8) -> __m256i {
+            let va = _mm256_loadu_si256(pa as *const __m256i);
+            let vb = _mm256_loadu_si256(pb as *const __m256i);
+            let alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+            let ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(va));
+            let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+            let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(vb));
+            let dlo = _mm256_sub_epi16(alo, blo);
+            let dhi = _mm256_sub_epi16(ahi, bhi);
+            let acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dlo, dlo));
+            _mm256_add_epi32(acc, _mm256_madd_epi16(dhi, dhi))
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn squared_euclidean_i8(a: &[i8], b: &[i8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_si256();
+            for i in 0..blocks {
+                let o = i * 64;
+                acc = sq_i8_step(acc, pa.add(o), pb.add(o));
+                acc = sq_i8_step(acc, pa.add(o + 32), pb.add(o + 32));
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0i8; 64];
+                let mut tb = [0i8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                acc = sq_i8_step(acc, ta.as_ptr(), tb.as_ptr());
+                acc = sq_i8_step(acc, ta.as_ptr().add(32), tb.as_ptr().add(32));
+            }
+            reduce_i32(acc) as f32
+        }
+
+        /// One 32-byte step of i8 dot product.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn dot_i8_step(acc: __m256i, pa: *const i8, pb: *const i8) -> __m256i {
+            let va = _mm256_loadu_si256(pa as *const __m256i);
+            let vb = _mm256_loadu_si256(pb as *const __m256i);
+            let alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+            let ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(va));
+            let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+            let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(vb));
+            let acc = _mm256_add_epi32(acc, _mm256_madd_epi16(alo, blo));
+            _mm256_add_epi32(acc, _mm256_madd_epi16(ahi, bhi))
+        }
+
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm256_setzero_si256();
+            for i in 0..blocks {
+                let o = i * 64;
+                acc = dot_i8_step(acc, pa.add(o), pb.add(o));
+                acc = dot_i8_step(acc, pa.add(o + 32), pb.add(o + 32));
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0i8; 64];
+                let mut tb = [0i8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                acc = dot_i8_step(acc, ta.as_ptr(), tb.as_ptr());
+                acc = dot_i8_step(acc, ta.as_ptr().add(32), tb.as_ptr().add(32));
+            }
+            reduce_i32(acc) as f32
+        }
+    }
+
+    pub mod sse2 {
+        use std::arch::x86_64::*;
+
+        /// Fixed-order horizontal sum of four 4-lane accumulators.
+        #[inline]
+        unsafe fn reduce4_f32(a0: __m128, a1: __m128, a2: __m128, a3: __m128) -> f32 {
+            let mut l = [[0.0f32; 4]; 4];
+            _mm_storeu_ps(l[0].as_mut_ptr(), a0);
+            _mm_storeu_ps(l[1].as_mut_ptr(), a1);
+            _mm_storeu_ps(l[2].as_mut_ptr(), a2);
+            _mm_storeu_ps(l[3].as_mut_ptr(), a3);
+            let s: [f32; 4] = std::array::from_fn(|k| (l[k][0] + l[k][1]) + (l[k][2] + l[k][3]));
+            (s[0] + s[1]) + (s[2] + s[3])
+        }
+
+        /// Exact horizontal sum of a 4-lane i32 accumulator into i64.
+        #[inline]
+        unsafe fn reduce_i32(acc: __m128i) -> i64 {
+            let mut l = [0i32; 4];
+            _mm_storeu_si128(l.as_mut_ptr() as *mut __m128i, acc);
+            l.iter().map(|&x| x as i64).sum()
+        }
+
+        pub unsafe fn squared_euclidean_f32(a: &[f32], b: &[f32]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 16;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = [_mm_setzero_ps(); 4];
+            for i in 0..blocks {
+                let o = i * 16;
+                for (k, slot) in acc.iter_mut().enumerate() {
+                    let d = _mm_sub_ps(
+                        _mm_loadu_ps(pa.add(o + k * 4)),
+                        _mm_loadu_ps(pb.add(o + k * 4)),
+                    );
+                    *slot = _mm_add_ps(*slot, _mm_mul_ps(d, d));
+                }
+            }
+            let rem = n - blocks * 16;
+            if rem > 0 {
+                let mut ta = [0.0f32; 16];
+                let mut tb = [0.0f32; 16];
+                ta[..rem].copy_from_slice(&a[blocks * 16..]);
+                tb[..rem].copy_from_slice(&b[blocks * 16..]);
+                for (k, slot) in acc.iter_mut().enumerate() {
+                    let d = _mm_sub_ps(
+                        _mm_loadu_ps(ta.as_ptr().add(k * 4)),
+                        _mm_loadu_ps(tb.as_ptr().add(k * 4)),
+                    );
+                    *slot = _mm_add_ps(*slot, _mm_mul_ps(d, d));
+                }
+            }
+            reduce4_f32(acc[0], acc[1], acc[2], acc[3])
+        }
+
+        pub unsafe fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 16;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = [_mm_setzero_ps(); 4];
+            for i in 0..blocks {
+                let o = i * 16;
+                for (k, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm_add_ps(
+                        *slot,
+                        _mm_mul_ps(
+                            _mm_loadu_ps(pa.add(o + k * 4)),
+                            _mm_loadu_ps(pb.add(o + k * 4)),
+                        ),
+                    );
+                }
+            }
+            let rem = n - blocks * 16;
+            if rem > 0 {
+                let mut ta = [0.0f32; 16];
+                let mut tb = [0.0f32; 16];
+                ta[..rem].copy_from_slice(&a[blocks * 16..]);
+                tb[..rem].copy_from_slice(&b[blocks * 16..]);
+                for (k, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm_add_ps(
+                        *slot,
+                        _mm_mul_ps(
+                            _mm_loadu_ps(ta.as_ptr().add(k * 4)),
+                            _mm_loadu_ps(tb.as_ptr().add(k * 4)),
+                        ),
+                    );
+                }
+            }
+            reduce4_f32(acc[0], acc[1], acc[2], acc[3])
+        }
+
+        /// One 16-byte step of u8 squared Euclidean.
+        #[inline]
+        unsafe fn sq_u8_step(acc: __m128i, pa: *const u8, pb: *const u8) -> __m128i {
+            let va = _mm_loadu_si128(pa as *const __m128i);
+            let vb = _mm_loadu_si128(pb as *const __m128i);
+            let zero = _mm_setzero_si128();
+            let alo = _mm_unpacklo_epi8(va, zero);
+            let ahi = _mm_unpackhi_epi8(va, zero);
+            let blo = _mm_unpacklo_epi8(vb, zero);
+            let bhi = _mm_unpackhi_epi8(vb, zero);
+            let dlo = _mm_sub_epi16(alo, blo);
+            let dhi = _mm_sub_epi16(ahi, bhi);
+            let acc = _mm_add_epi32(acc, _mm_madd_epi16(dlo, dlo));
+            _mm_add_epi32(acc, _mm_madd_epi16(dhi, dhi))
+        }
+
+        pub unsafe fn squared_euclidean_u8(a: &[u8], b: &[u8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm_setzero_si128();
+            for i in 0..blocks {
+                let o = i * 64;
+                for k in 0..4 {
+                    acc = sq_u8_step(acc, pa.add(o + k * 16), pb.add(o + k * 16));
+                }
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0u8; 64];
+                let mut tb = [0u8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                for k in 0..4 {
+                    acc = sq_u8_step(acc, ta.as_ptr().add(k * 16), tb.as_ptr().add(k * 16));
+                }
+            }
+            reduce_i32(acc) as f32
+        }
+
+        /// One 16-byte step of u8 dot product.
+        #[inline]
+        unsafe fn dot_u8_step(acc: __m128i, pa: *const u8, pb: *const u8) -> __m128i {
+            let va = _mm_loadu_si128(pa as *const __m128i);
+            let vb = _mm_loadu_si128(pb as *const __m128i);
+            let zero = _mm_setzero_si128();
+            let alo = _mm_unpacklo_epi8(va, zero);
+            let ahi = _mm_unpackhi_epi8(va, zero);
+            let blo = _mm_unpacklo_epi8(vb, zero);
+            let bhi = _mm_unpackhi_epi8(vb, zero);
+            let acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, blo));
+            _mm_add_epi32(acc, _mm_madd_epi16(ahi, bhi))
+        }
+
+        pub unsafe fn dot_u8(a: &[u8], b: &[u8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm_setzero_si128();
+            for i in 0..blocks {
+                let o = i * 64;
+                for k in 0..4 {
+                    acc = dot_u8_step(acc, pa.add(o + k * 16), pb.add(o + k * 16));
+                }
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0u8; 64];
+                let mut tb = [0u8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                for k in 0..4 {
+                    acc = dot_u8_step(acc, ta.as_ptr().add(k * 16), tb.as_ptr().add(k * 16));
+                }
+            }
+            reduce_i32(acc) as f32
+        }
+
+        /// Sign-extending widen of the low/high 8 bytes of a 16-byte vector.
+        #[inline]
+        unsafe fn widen_i8(v: __m128i) -> (__m128i, __m128i) {
+            // Interleave with itself then arithmetic-shift the high copy in,
+            // the classic SSE2 sign-extension idiom.
+            let lo = _mm_srai_epi16::<8>(_mm_unpacklo_epi8(v, v));
+            let hi = _mm_srai_epi16::<8>(_mm_unpackhi_epi8(v, v));
+            (lo, hi)
+        }
+
+        /// One 16-byte step of i8 squared Euclidean.
+        #[inline]
+        unsafe fn sq_i8_step(acc: __m128i, pa: *const i8, pb: *const i8) -> __m128i {
+            let va = _mm_loadu_si128(pa as *const __m128i);
+            let vb = _mm_loadu_si128(pb as *const __m128i);
+            let (alo, ahi) = widen_i8(va);
+            let (blo, bhi) = widen_i8(vb);
+            let dlo = _mm_sub_epi16(alo, blo);
+            let dhi = _mm_sub_epi16(ahi, bhi);
+            let acc = _mm_add_epi32(acc, _mm_madd_epi16(dlo, dlo));
+            _mm_add_epi32(acc, _mm_madd_epi16(dhi, dhi))
+        }
+
+        pub unsafe fn squared_euclidean_i8(a: &[i8], b: &[i8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm_setzero_si128();
+            for i in 0..blocks {
+                let o = i * 64;
+                for k in 0..4 {
+                    acc = sq_i8_step(acc, pa.add(o + k * 16), pb.add(o + k * 16));
+                }
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0i8; 64];
+                let mut tb = [0i8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                for k in 0..4 {
+                    acc = sq_i8_step(acc, ta.as_ptr().add(k * 16), tb.as_ptr().add(k * 16));
+                }
+            }
+            reduce_i32(acc) as f32
+        }
+
+        /// One 16-byte step of i8 dot product.
+        #[inline]
+        unsafe fn dot_i8_step(acc: __m128i, pa: *const i8, pb: *const i8) -> __m128i {
+            let va = _mm_loadu_si128(pa as *const __m128i);
+            let vb = _mm_loadu_si128(pb as *const __m128i);
+            let (alo, ahi) = widen_i8(va);
+            let (blo, bhi) = widen_i8(vb);
+            let acc = _mm_add_epi32(acc, _mm_madd_epi16(alo, blo));
+            _mm_add_epi32(acc, _mm_madd_epi16(ahi, bhi))
+        }
+
+        pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> f32 {
+            assert_eq!(a.len(), b.len(), "kernel inputs must have equal lengths");
+            let n = a.len();
+            let blocks = n / 64;
+            let (pa, pb) = (a.as_ptr(), b.as_ptr());
+            let mut acc = _mm_setzero_si128();
+            for i in 0..blocks {
+                let o = i * 64;
+                for k in 0..4 {
+                    acc = dot_i8_step(acc, pa.add(o + k * 16), pb.add(o + k * 16));
+                }
+            }
+            let rem = n - blocks * 64;
+            if rem > 0 {
+                let mut ta = [0i8; 64];
+                let mut tb = [0i8; 64];
+                ta[..rem].copy_from_slice(&a[blocks * 64..]);
+                tb[..rem].copy_from_slice(&b[blocks * 64..]);
+                for k in 0..4 {
+                    acc = dot_i8_step(acc, ta.as_ptr().add(k * 16), tb.as_ptr().add(k * 16));
+                }
+            }
+            reduce_i32(acc) as f32
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($name:ident, $t:ty, $scalar:path, $sse2:path, $avx2:path) => {
+        /// Runtime-dispatched kernel; see the module docs for the
+        /// determinism and block-structure contract.
+        #[inline]
+        pub fn $name(a: &[$t], b: &[$t]) -> f32 {
+            match simd_level() {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: the dispatcher only returns Avx2/Sse2 when the
+                // CPU reports the feature; kernels assert equal lengths.
+                SimdLevel::Avx2 => unsafe { $avx2(a, b) },
+                #[cfg(target_arch = "x86_64")]
+                SimdLevel::Sse2 => unsafe { $sse2(a, b) },
+                _ => $scalar(a, b),
+            }
+        }
+    };
+}
+
+dispatch!(
+    squared_euclidean_u8,
+    u8,
+    scalar::squared_euclidean_u8,
+    x86::sse2::squared_euclidean_u8,
+    x86::avx2::squared_euclidean_u8
+);
+dispatch!(
+    dot_u8,
+    u8,
+    scalar::dot_u8,
+    x86::sse2::dot_u8,
+    x86::avx2::dot_u8
+);
+dispatch!(
+    squared_euclidean_i8,
+    i8,
+    scalar::squared_euclidean_i8,
+    x86::sse2::squared_euclidean_i8,
+    x86::avx2::squared_euclidean_i8
+);
+dispatch!(
+    dot_i8,
+    i8,
+    scalar::dot_i8,
+    x86::sse2::dot_i8,
+    x86::avx2::dot_i8
+);
+dispatch!(
+    squared_euclidean_f32,
+    f32,
+    scalar::squared_euclidean,
+    x86::sse2::squared_euclidean_f32,
+    x86::avx2::squared_euclidean_f32
+);
+dispatch!(
+    dot_f32,
+    f32,
+    scalar::dot,
+    x86::sse2::dot_f32,
+    x86::avx2::dot_f32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u8_vec(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .map(|i| (seed.wrapping_mul(i as u64 + 7) >> 13) as u8)
+            .collect()
+    }
+
+    fn i8_vec(n: usize, seed: u64) -> Vec<i8> {
+        u8_vec(n, seed).into_iter().map(|x| x as i8).collect()
+    }
+
+    fn f32_vec(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+                ((h >> 11) as f64 / (1u64 << 53) as f64 * 100.0 - 50.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn padded_dim_rounds_to_blocks() {
+        assert_eq!(padded_dim::<f32>(1), 16);
+        assert_eq!(padded_dim::<f32>(16), 16);
+        assert_eq!(padded_dim::<f32>(200), 208);
+        assert_eq!(padded_dim::<u8>(128), 128);
+        assert_eq!(padded_dim::<i8>(100), 128);
+    }
+
+    #[test]
+    fn integer_kernels_match_scalar_bit_exact() {
+        for n in [1usize, 7, 63, 64, 65, 100, 128, 200, 511, 512] {
+            let (a, b) = (u8_vec(n, 3), u8_vec(n, 5));
+            assert_eq!(
+                squared_euclidean_u8(&a, &b),
+                scalar::squared_euclidean_u8(&a, &b)
+            );
+            assert_eq!(dot_u8(&a, &b), scalar::dot_u8(&a, &b));
+            let (c, d) = (i8_vec(n, 11), i8_vec(n, 13));
+            assert_eq!(
+                squared_euclidean_i8(&c, &d),
+                scalar::squared_euclidean_i8(&c, &d)
+            );
+            assert_eq!(dot_i8(&c, &d), scalar::dot_i8(&c, &d));
+        }
+    }
+
+    #[test]
+    fn f32_kernels_close_to_scalar() {
+        for n in [1usize, 5, 15, 16, 17, 100, 128, 200, 512] {
+            let (a, b) = (f32_vec(n, 17), f32_vec(n, 19));
+            let (got, want) = (
+                squared_euclidean_f32(&a, &b),
+                scalar::squared_euclidean(&a, &b),
+            );
+            assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "sq n={n}");
+            let (got, want) = (dot_f32(&a, &b), scalar::dot(&a, &b));
+            assert!(
+                (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                "dot n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_and_unpadded_evaluations_agree() {
+        // The PointSet storage contract: kernels on (query, logical row)
+        // must equal kernels on the zero-padded pair.
+        for dim in [1usize, 3, 17, 100, 130, 200] {
+            let (a, b) = (f32_vec(dim, 23), f32_vec(dim, 29));
+            let stride = padded_dim::<f32>(dim);
+            let mut ap = a.clone();
+            let mut bp = b.clone();
+            ap.resize(stride, 0.0);
+            bp.resize(stride, 0.0);
+            assert_eq!(
+                squared_euclidean_f32(&a, &b).to_bits(),
+                squared_euclidean_f32(&ap, &bp).to_bits(),
+                "f32 sq dim={dim}"
+            );
+            assert_eq!(
+                dot_f32(&a, &b).to_bits(),
+                dot_f32(&ap, &bp).to_bits(),
+                "f32 dot dim={dim}"
+            );
+
+            let (u, v) = (u8_vec(dim, 31), u8_vec(dim, 37));
+            let ustride = padded_dim::<u8>(dim);
+            let mut up = u.clone();
+            let mut vp = v.clone();
+            up.resize(ustride, 0);
+            vp.resize(ustride, 0);
+            assert_eq!(squared_euclidean_u8(&u, &v), squared_euclidean_u8(&up, &vp));
+            assert_eq!(dot_u8(&u, &v), dot_u8(&up, &vp));
+        }
+    }
+
+    #[test]
+    fn level_is_detected_and_stable() {
+        let l1 = simd_level();
+        let l2 = simd_level();
+        assert_eq!(l1, l2);
+        #[cfg(target_arch = "x86_64")]
+        assert!(l1 >= SimdLevel::Sse2 || std::env::var("PARLAYANN_SIMD").is_ok());
+        assert!(!l1.name().is_empty());
+    }
+
+    #[test]
+    fn prefetch_is_a_safe_noop_semantically() {
+        let v = f32_vec(64, 41);
+        prefetch_read(&v);
+        prefetch_read(&v[..1]);
+        prefetch_read::<f32>(&[]);
+    }
+}

@@ -3,11 +3,29 @@
 //! and IO round-trips on arbitrary vectors.
 
 use ann_data::io::{read_bin, read_xvecs, write_bin, write_xvecs};
-use ann_data::{compute_ground_truth, distance, recall_ids, Metric, PointSet};
+use ann_data::{
+    compute_ground_truth, distance, distance_batch, recall_ids, simd, Metric, PointSet,
+};
 use proptest::prelude::*;
 
 fn arb_vec(d: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-50.0f32..50.0, d)
+}
+
+/// Deterministic pseudo-random vector generator (splitmix64) so kernel
+/// equivalence can be tested at strategy-chosen dimensions without
+/// dimension-dependent strategies.
+fn seeded<T>(n: usize, seed: u64, f: impl Fn(u64) -> T) -> Vec<T> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            f(z ^ (z >> 31))
+        })
+        .collect()
 }
 
 proptest! {
@@ -85,7 +103,7 @@ proptest! {
         write_bin(&path, &points).unwrap();
         let back = read_bin::<f32>(&path, usize::MAX).unwrap();
         std::fs::remove_file(&path).unwrap();
-        prop_assert_eq!(back.as_flat(), points.as_flat());
+        prop_assert_eq!(back.to_flat(), points.to_flat());
     }
 
     #[test]
@@ -98,7 +116,104 @@ proptest! {
         write_xvecs(&path, &points).unwrap();
         let back = read_xvecs::<u8>(&path, usize::MAX).unwrap();
         std::fs::remove_file(&path).unwrap();
-        prop_assert_eq!(back.as_flat(), points.as_flat());
+        prop_assert_eq!(back.to_flat(), points.to_flat());
+    }
+
+    // --- SIMD kernel equivalence (dispatched vs scalar reference) -------
+    //
+    // Dimensions 1..=512 cover every remainder class of the 64-byte block
+    // structure (16 f32 / 64 u8 lanes per block).
+
+    #[test]
+    fn simd_u8_kernels_bit_exact_vs_scalar(dim in 1usize..=512, seed in any::<u64>()) {
+        let a = seeded(dim, seed, |z| z as u8);
+        let b = seeded(dim, seed ^ 0xabcdef, |z| z as u8);
+        prop_assert_eq!(
+            ann_data::squared_euclidean(&a, &b).to_bits(),
+            simd::scalar::squared_euclidean_u8(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            ann_data::dot(&a, &b).to_bits(),
+            simd::scalar::dot_u8(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn simd_i8_kernels_bit_exact_vs_scalar(dim in 1usize..=512, seed in any::<u64>()) {
+        let a = seeded(dim, seed, |z| z as i8);
+        let b = seeded(dim, seed ^ 0x123456, |z| z as i8);
+        prop_assert_eq!(
+            ann_data::squared_euclidean(&a, &b).to_bits(),
+            simd::scalar::squared_euclidean_i8(&a, &b).to_bits()
+        );
+        prop_assert_eq!(
+            ann_data::dot(&a, &b).to_bits(),
+            simd::scalar::dot_i8(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn simd_f32_kernels_within_1e4_of_scalar(dim in 1usize..=512, seed in any::<u64>()) {
+        let a = seeded(dim, seed, |z| (z >> 40) as f32 / 1e4 - 0.8);
+        let b = seeded(dim, seed ^ 0x777, |z| (z >> 40) as f32 / 1e4 - 0.8);
+        let (got, want) = (
+            ann_data::squared_euclidean(&a, &b),
+            simd::scalar::squared_euclidean(&a, &b),
+        );
+        prop_assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "sq {got} vs {want}");
+        let (got, want) = (ann_data::dot(&a, &b), simd::scalar::dot(&a, &b));
+        prop_assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "dot {got} vs {want}");
+    }
+
+    #[test]
+    fn padded_rows_score_identically_to_logical_rows(
+        dim in 1usize..=200,
+        seed in any::<u64>(),
+        n in 2usize..20
+    ) {
+        // The PointSet layout contract end-to-end: batch over padded rows
+        // (padded query) == batch over logical rows (raw query) == single
+        // distance() calls, bit for bit.
+        let flat = seeded(n * dim, seed, |z| (z >> 40) as f32 / 1e4 - 0.8);
+        let points = PointSet::new(flat, dim);
+        let query: Vec<f32> = points.point(n / 2).to_vec();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        for metric in [Metric::SquaredEuclidean, Metric::InnerProduct, Metric::Cosine] {
+            let (mut via_logical, mut via_padded) = (Vec::new(), Vec::new());
+            distance_batch(&query, &ids, &points, metric, &mut via_logical);
+            let padded = points.pad_query(&query);
+            distance_batch(&padded, &ids, &points, metric, &mut via_padded);
+            for (j, &id) in ids.iter().enumerate() {
+                let single = distance(&query, points.point(id as usize), metric);
+                prop_assert_eq!(via_logical[j].to_bits(), single.to_bits());
+                prop_assert_eq!(via_padded[j].to_bits(), single.to_bits());
+            }
+        }
+    }
+
+    // NOTE: the offline rayon shim executes every pool sequentially, so
+    // today this asserts run-to-run purity; it becomes a real concurrency
+    // gate when crates.io rayon is restored (ROADMAP "Real thread pool").
+    #[test]
+    fn distance_batch_identical_across_thread_pool_sizes(
+        dim in 1usize..=128,
+        seed in any::<u64>(),
+        n in 4usize..40
+    ) {
+        let flat = seeded(n * dim, seed, |z| z as u8);
+        let points = PointSet::new(flat, dim);
+        let query: Vec<u8> = points.point(0).to_vec();
+        let ids: Vec<u32> = (0..n as u32).rev().collect();
+        let run = || {
+            let mut out = Vec::new();
+            distance_batch(&query, &ids, &points, Metric::SquaredEuclidean, &mut out);
+            out.iter().map(|d| d.to_bits()).collect::<Vec<u32>>()
+        };
+        let one = parlay::with_threads(1, run);
+        let four = parlay::with_threads(4, run);
+        let eight = parlay::with_threads(8, run);
+        prop_assert_eq!(&one, &four);
+        prop_assert_eq!(&one, &eight);
     }
 
     #[test]
@@ -108,7 +223,7 @@ proptest! {
         let points = PointSet::new(flat[..n * d].to_vec(), d);
         let all: Vec<u32> = (0..n as u32).collect();
         let gathered = points.gather(&all);
-        prop_assert_eq!(gathered.as_flat(), points.as_flat());
+        prop_assert_eq!(gathered.to_flat(), points.to_flat());
         let half = points.prefix(n / 2 + 1);
         for i in 0..half.len() {
             prop_assert_eq!(half.point(i), points.point(i));

@@ -49,11 +49,7 @@ where
     if items.len() < GRAIN {
         items.iter().enumerate().map(|(i, x)| f(i, x)).collect()
     } else {
-        items
-            .par_iter()
-            .enumerate()
-            .map(|(i, x)| f(i, x))
-            .collect()
+        items.par_iter().enumerate().map(|(i, x)| f(i, x)).collect()
     }
 }
 

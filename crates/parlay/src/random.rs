@@ -29,7 +29,10 @@ impl Random {
     /// The `i`-th 64-bit value of the stream.
     #[inline]
     pub fn ith_rand(&self, i: u64) -> u64 {
-        hash64(self.seed.wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        hash64(
+            self.seed
+                .wrapping_add(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        )
     }
 
     /// The `i`-th value reduced to `0..n` (n must be nonzero).

@@ -18,11 +18,11 @@ where
     C: Fn(A, A) -> A,
 {
     if items.len() <= GRAIN {
-        return items.iter().fold(init, |acc, x| map_block(acc, x));
+        return items.iter().fold(init, &map_block);
     }
     let partials: Vec<A> = items
         .par_chunks(GRAIN)
-        .map(|c| c.iter().fold(init, |acc, x| map_block(acc, x)))
+        .map(|c| c.iter().fold(init, &map_block))
         .collect();
     partials.into_iter().fold(init, combine)
 }

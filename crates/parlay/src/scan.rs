@@ -57,18 +57,15 @@ where
     let mut out: Vec<T> = unsafe { uninit_vec(n) };
     {
         let cell = UnsafeSliceCell::new(&mut out);
-        items
-            .par_chunks(block)
-            .enumerate()
-            .for_each(|(b, chunk)| {
-                let mut acc = block_prefix[b];
-                let base = b * block;
-                for (i, &x) in chunk.iter().enumerate() {
-                    // SAFETY: each block writes its own disjoint range.
-                    unsafe { cell.write(base + i, acc) };
-                    acc = op(acc, x);
-                }
-            });
+        items.par_chunks(block).enumerate().for_each(|(b, chunk)| {
+            let mut acc = block_prefix[b];
+            let base = b * block;
+            for (i, &x) in chunk.iter().enumerate() {
+                // SAFETY: each block writes its own disjoint range.
+                unsafe { cell.write(base + i, acc) };
+                acc = op(acc, x);
+            }
+        });
     }
     (out, total)
 }

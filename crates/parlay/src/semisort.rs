@@ -42,7 +42,7 @@ where
 
     if n <= GRAIN {
         // Small case: single stable sort by (hash, key).
-        tagged.sort_by(|a, b| (a.0, key(&a.1)).cmp(&(b.0, key(&b.1))));
+        tagged.sort_by_key(|a| (a.0, key(&a.1)));
     } else {
         // Distribute by hash prefix.
         let log_buckets = (n / 256).next_power_of_two().trailing_zeros().min(14);
@@ -59,7 +59,7 @@ where
                 if len > 1 {
                     // SAFETY: bucket ranges are disjoint.
                     let slice = unsafe { cell.slice_mut(start, len) };
-                    slice.sort_by(|a, z| (a.0, key(&a.1)).cmp(&(z.0, key(&z.1))));
+                    slice.sort_by_key(|a| (a.0, key(&a.1)));
                 }
             });
         }

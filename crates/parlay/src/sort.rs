@@ -206,9 +206,7 @@ mod tests {
     fn sort_is_stable() {
         // Key = value % 16; payload = original index. After a stable sort,
         // within each key the payloads must be increasing.
-        let mut v: Vec<(u64, u32)> = (0..80_000u32)
-            .map(|i| (hash64(i as u64) % 16, i))
-            .collect();
+        let mut v: Vec<(u64, u32)> = (0..80_000u32).map(|i| (hash64(i as u64) % 16, i)).collect();
         sort_by_key(&mut v, |&(k, _)| k);
         for w in v.windows(2) {
             if w[0].0 == w[1].0 {
@@ -229,10 +227,7 @@ mod tests {
         let a = vec![(1, 'a'), (2, 'a'), (2, 'a')];
         let b = vec![(2, 'b'), (3, 'b')];
         let m = merge_by(&a, &b, &|x: &(i32, char), y: &(i32, char)| x.0.cmp(&y.0));
-        assert_eq!(
-            m,
-            vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b')]
-        );
+        assert_eq!(m, vec![(1, 'a'), (2, 'a'), (2, 'a'), (2, 'b'), (3, 'b')]);
     }
 
     #[test]

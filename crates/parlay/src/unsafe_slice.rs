@@ -61,6 +61,9 @@ impl<'a, T> UnsafeSliceCell<'a, T> {
     ///
     /// # Safety
     /// Range in bounds, and no concurrent access to any index in the range.
+    // `&self -> &mut` is this type's whole purpose: callers guarantee
+    // disjointness, exactly like `UnsafeCell`-based cells do.
+    #[allow(clippy::mut_from_ref)]
     #[inline]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         debug_assert!(start.checked_add(len).is_some_and(|e| e <= self.len));

@@ -10,8 +10,8 @@
 
 use parlayann_suite::baselines::{IvfIndex, IvfParams, LshIndex, LshParams, PqParams};
 use parlayann_suite::core::{
-    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex,
-    PyNNDescentParams, QueryParams, VamanaIndex, VamanaParams,
+    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    QueryParams, VamanaIndex, VamanaParams,
 };
 use parlayann_suite::data::{compute_ground_truth, msspacev_like, recall_ids};
 

@@ -17,13 +17,17 @@ use parlayann_suite::core::{
 };
 use parlayann_suite::data::bigann_like;
 
+type BuildFn<'a> = Box<dyn Fn() -> u64 + Sync + 'a>;
+
 fn main() {
     let n = 4_000;
     let data = bigann_like(n, 1, 99);
     let max_threads = std::thread::available_parallelism().map_or(2, |p| p.get());
-    println!("building each index on 1 thread and on {max_threads} threads; comparing fingerprints\n");
+    println!(
+        "building each index on 1 thread and on {max_threads} threads; comparing fingerprints\n"
+    );
 
-    let runs: Vec<(&str, Box<dyn Fn() -> u64 + Sync>)> = vec![
+    let runs: Vec<(&str, BuildFn<'_>)> = vec![
         (
             "ParlayDiskANN",
             Box::new(|| {
@@ -70,12 +74,12 @@ fn main() {
     ];
 
     println!(
-        "{:>28}  {:>18}  {:>18}  {}",
-        "index", "fp @ 1 thread", "fp @ all threads", "deterministic?"
+        "{:>28}  {:>18}  {:>18}  deterministic?",
+        "index", "fp @ 1 thread", "fp @ all threads"
     );
     for (name, build) in &runs {
-        let fp1 = parlay::with_threads(1, || build());
-        let fp2 = parlay::with_threads(max_threads, || build());
+        let fp1 = parlay::with_threads(1, build);
+        let fp2 = parlay::with_threads(max_threads, build);
         println!(
             "{:>28}  {:>18x}  {:>18x}  {}",
             name,
@@ -84,5 +88,7 @@ fn main() {
             if fp1 == fp2 { "yes" } else { "NO (lock order)" }
         );
     }
-    println!("\n(Every Parlay index must print 'yes'; the locked comparator may differ run to run.)");
+    println!(
+        "\n(Every Parlay index must print 'yes'; the locked comparator may differ run to run.)"
+    );
 }

@@ -9,8 +9,8 @@
 //! ```
 
 use parlayann_suite::core::{
-    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex,
-    PyNNDescentParams, QueryParams, VamanaIndex, VamanaParams,
+    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    QueryParams, VamanaIndex, VamanaParams,
 };
 use parlayann_suite::data::{bigann_like, compute_ground_truth, recall_ids};
 

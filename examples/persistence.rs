@@ -39,11 +39,20 @@ fn main() {
     // 3. k-NN and range queries on the reloaded index.
     let q = data.queries.point(0);
     let (knn, _) = loaded.search(q, &QueryParams::default());
-    println!("\n10-NN of query 0: {:?}", knn.iter().map(|&(id, _)| id).collect::<Vec<_>>());
+    println!(
+        "\n10-NN of query 0: {:?}",
+        knn.iter().map(|&(id, _)| id).collect::<Vec<_>>()
+    );
 
     let gt = compute_ground_truth(loaded.points(), &data.queries, 20, data.metric);
     let radius = gt.distances(0)[19];
-    let (ball, stats) = loaded.range_search(q, &RangeParams { radius, ..RangeParams::default() });
+    let (ball, stats) = loaded.range_search(
+        q,
+        &RangeParams {
+            radius,
+            ..RangeParams::default()
+        },
+    );
     println!(
         "range query (radius = 20-NN distance): {} points found, {} distance comparisons",
         ball.len(),

@@ -39,7 +39,10 @@ fn main() {
     for (id, dist) in &neighbors {
         println!("  {id:>6}  {dist:.1}");
     }
-    println!("({} distance comparisons, {} hops)", stats.dist_comps, stats.hops);
+    println!(
+        "({} distance comparisons, {} hops)",
+        stats.dist_comps, stats.hops
+    );
 
     // Verify against exact ground truth.
     let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
@@ -53,5 +56,8 @@ fn main() {
                 .collect()
         })
         .collect();
-    println!("10@10 recall over 50 queries: {:.4}", recall_ids(&gt, &results, 10, 10));
+    println!(
+        "10@10 recall over 50 queries: {:.4}",
+        recall_ids(&gt, &results, 10, 10)
+    );
 }

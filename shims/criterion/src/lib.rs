@@ -1,0 +1,264 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion) with the API
+//! subset this workspace uses (see `shims/` in the repo root for why).
+//!
+//! Implements a simple but honest wall-clock micro-harness:
+//!
+//! * each `bench_function` first calibrates an iteration count so one
+//!   sample lasts ≥ ~1 ms, then takes `sample_size` samples;
+//! * the **median** ns/iter is reported (robust to scheduler noise), along
+//!   with min and max;
+//! * output goes to stdout as `group/name  time: [min median max]`, close
+//!   enough to criterion's format for eyeballing and grepping.
+//!
+//! There is no statistical regression testing, HTML report, or comparison
+//! baseline — swap the real crate back in for those.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _criterion: self,
+        }
+    }
+
+    /// Ungrouped benchmark (criterion's `Criterion::bench_function`).
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let (sample_size, measurement, warmup) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_one("", &id.into(), sample_size, measurement, warmup, f);
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording ns/iter samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up + calibration: find an iteration count giving >= ~1 ms
+        // samples (or whatever fits the warm-up budget).
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || Instant::now() >= warm_deadline {
+                if dt < Duration::from_micros(1) {
+                    iters = iters.saturating_mul(1000);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        self.iters_per_sample = iters.max(1);
+
+        // Measurement: `sample_size` samples within the time budget.
+        let deadline = Instant::now() + self.measurement_time;
+        for s in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns_per_iter
+                .push(dt.as_nanos() as f64 / self.iters_per_sample as f64);
+            if Instant::now() >= deadline && s >= 1 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        samples_ns_per_iter: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples_ns_per_iter.is_empty() {
+        println!("{label:<48} time: [no samples]");
+        return;
+    }
+    b.samples_ns_per_iter
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = b.samples_ns_per_iter[0];
+    let max = *b.samples_ns_per_iter.last().unwrap();
+    let median = b.samples_ns_per_iter[b.samples_ns_per_iter.len() / 2];
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, matching criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, matching criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.finish();
+    }
+}

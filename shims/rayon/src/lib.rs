@@ -1,0 +1,222 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon) with the API subset
+//! this workspace uses.
+//!
+//! The build container has no access to a crates registry, so the workspace
+//! vendors minimal shims for its external dependencies (see `shims/` in the
+//! repo root). This one maps rayon's fork-join API onto **sequential**
+//! execution:
+//!
+//! * `join(a, b)` runs `a` then `b` on the calling thread;
+//! * `par_iter` / `into_par_iter` / `par_chunks` return the corresponding
+//!   standard sequential iterators, so every adapter (`map`, `for_each`,
+//!   `collect`, …) is the `std::iter` one;
+//! * `ThreadPoolBuilder::build().install(f)` runs `f` inline, recording the
+//!   requested worker count so `current_num_threads` reports it.
+//!
+//! Every algorithm in this workspace is *deterministic by construction*
+//! (outputs never depend on the schedule), so sequential execution produces
+//! bit-identical results to a real parallel run — only wall-clock time
+//! differs. Swapping the real crate back in is a one-line change in the
+//! workspace manifest and requires no source edits.
+
+use std::cell::Cell;
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs both closures and returns their results. Sequential: `a` first.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Number of workers in the "current pool": the count requested by the
+/// innermost [`ThreadPool::install`], or the machine parallelism outside one.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| {
+        t.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Error type matching `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests `n` worker threads (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (virtual) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped "pool": remembers its worker count for `current_num_threads`.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool current.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.replace(Some(self.num_threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+
+    /// The worker count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+pub mod iter {
+    //! Sequential stand-ins for rayon's parallel iterator entry points.
+
+    /// `collection.into_par_iter()` — the standard `into_iter`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<C: IntoIterator + Sized> IntoParallelIterator for C {}
+
+    /// `collection.par_iter()` — the standard by-reference iterator.
+    pub trait IntoParallelRefIterator {
+        /// The by-reference iterator type.
+        type Iter<'a>: Iterator
+        where
+            Self: 'a;
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&self) -> Self::Iter<'_>;
+    }
+
+    impl<C> IntoParallelRefIterator for C
+    where
+        C: ?Sized,
+        for<'a> &'a C: IntoIterator,
+    {
+        type Iter<'a>
+            = <&'a C as IntoIterator>::IntoIter
+        where
+            C: 'a;
+        fn par_iter(&self) -> Self::Iter<'_> {
+            self.into_iter()
+        }
+    }
+
+    /// `slice.par_chunks(n)` — the standard `chunks`.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Rayon-only adapters that have no `std::iter` equivalent.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Rayon's `flat_map_iter` — sequentially identical to `flat_map`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Rayon's `with_min_len` — a no-op sequentially.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator + Sized> ParallelIteratorExt for I {}
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIteratorExt, ParallelSlice,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(join(|| 1, || "x"), (1, "x"));
+    }
+
+    #[test]
+    fn install_sets_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| assert_eq!(nested.install(current_num_threads), 1));
+    }
+
+    #[test]
+    fn iterator_shims_behave_like_std() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u32 = (0u32..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let chunks: Vec<&[u32]> = v.par_chunks(3).collect();
+        assert_eq!(chunks, vec![&v[0..3], &v[3..4]]);
+        let flat: Vec<u32> = v.par_iter().flat_map_iter(|&x| [x, x]).collect();
+        assert_eq!(flat.len(), 8);
+    }
+}

@@ -78,7 +78,10 @@ fn graphs_beat_compressed_ivf_at_high_recall() {
         graph > ivf,
         "graph recall {graph} should exceed compressed-IVF ceiling {ivf}"
     );
-    assert!(graph > 0.9, "graph should reach the high-recall regime: {graph}");
+    assert!(
+        graph > 0.9,
+        "graph should reach the high-recall regime: {graph}"
+    );
 }
 
 #[test]

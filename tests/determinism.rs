@@ -121,9 +121,38 @@ fn baselines_are_deterministic_too() {
     let (a, b) = across_threads(|| {
         let idx = LshIndex::build(d.points.clone(), d.metric, &LshParams::default());
         let (res, _) = idx.search_probes(d.points.point(0), 5, 4);
-        res.iter().fold(0u64, |acc, &(id, _)| {
-            parlay::hash64_pair(acc, id as u64)
-        })
+        res.iter()
+            .fold(0u64, |acc, &(id, _)| parlay::hash64_pair(acc, id as u64))
     });
     assert_eq!(a, b);
+}
+
+#[test]
+fn beam_search_byte_identical_across_1_4_8_threads() {
+    // The batched SIMD expansion path must stay a pure function of
+    // (graph, query): build once, then require bit-identical `(id,
+    // distance)` sequences at 1, 4, and 8 worker threads. NOTE: under the
+    // offline rayon shim (shims/rayon) every pool runs sequentially, so
+    // today this checks purity across `with_threads` runs; its teeth are
+    // for the day real rayon is restored (ROADMAP "Real thread pool").
+    let d = bigann_like(N, 16, 17);
+    let index = VamanaIndex::build(d.points.clone(), d.metric, &VamanaParams::default());
+    let params = QueryParams {
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let run = || -> Vec<(u32, u32)> {
+        (0..d.queries.len())
+            .flat_map(|q| {
+                let (res, _) = index.search(d.queries.point(q), &params);
+                res.into_iter().map(|(id, dist)| (id, dist.to_bits()))
+            })
+            .collect()
+    };
+    let one = parlay::with_threads(1, run);
+    let four = parlay::with_threads(4, run);
+    let eight = parlay::with_threads(8, run);
+    assert!(!one.is_empty());
+    assert_eq!(one, four);
+    assert_eq!(one, eight);
 }

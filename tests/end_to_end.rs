@@ -3,8 +3,8 @@
 
 use parlayann_suite::baselines::{IvfIndex, IvfParams};
 use parlayann_suite::core::{
-    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex,
-    PyNNDescentParams, QueryParams, VamanaIndex, VamanaParams,
+    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    QueryParams, VamanaIndex, VamanaParams,
 };
 use parlayann_suite::data::{
     bigann_like, compute_ground_truth, msspacev_like, recall_ids, text2image_like, Dataset,
@@ -33,7 +33,11 @@ fn check_recall<T: VectorElem, I: AnnIndex<T>>(data: &Dataset<T>, index: &I, flo
         })
         .collect();
     let r = recall_ids(&gt, &results, 10, 10);
-    assert!(r >= floor, "{} recall {r} below floor {floor}", index.name());
+    assert!(
+        r >= floor,
+        "{} recall {r} below floor {floor}",
+        index.name()
+    );
 }
 
 #[test]

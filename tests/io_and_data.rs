@@ -30,7 +30,7 @@ fn fvecs_roundtrip_preserves_f32_bits() {
     write_xvecs(&path, &d.points).unwrap();
     let loaded = read_xvecs::<f32>(&path, usize::MAX).unwrap();
     std::fs::remove_file(&path).unwrap();
-    assert_eq!(loaded.as_flat(), d.points.as_flat());
+    assert_eq!(loaded.to_flat(), d.points.to_flat());
 }
 
 #[test]

@@ -10,11 +10,10 @@ use proptest::prelude::*;
 /// Arbitrary small f32 point set: n in [8, 60], d in [2, 6], coords in a
 /// bounded range (no NaN/inf).
 fn arb_points() -> impl Strategy<Value = PointSet<f32>> {
-    (8usize..60, 2usize..6)
-        .prop_flat_map(|(n, d)| {
-            proptest::collection::vec(-100.0f32..100.0, n * d)
-                .prop_map(move |data| PointSet::new(data, d))
-        })
+    (8usize..60, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-100.0f32..100.0, n * d)
+            .prop_map(move |data| PointSet::new(data, d))
+    })
 }
 
 proptest! {
