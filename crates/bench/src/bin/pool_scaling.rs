@@ -1,0 +1,118 @@
+//! `pool_scaling` — end-to-end index-build thread-scaling benchmark.
+//!
+//! Builds the same Vamana/DiskANN index at 1/2/4/8 worker threads on the
+//! real work-stealing pool, checks that every build is bit-identical to the
+//! 1-thread build (the paper's determinism guarantee under real schedules),
+//! prints a speedup table, and appends a machine-readable record to
+//! `BENCH_pool.json` so the perf trajectory accumulates across PRs.
+//!
+//! ```text
+//! cargo run --release -p parlayann_bench --bin pool_scaling [n] [out.json]
+//! ```
+//!
+//! Defaults: `n` = 10 000 points (or `PARLAYANN_SCALE`), output
+//! `BENCH_pool.json` in the current directory. Speedups are only meaningful
+//! up to the machine's available parallelism, which is recorded alongside
+//! the timings (a 1-core container will honestly report ~1x).
+
+use ann_data::bigann_like;
+use parlayann::{VamanaIndex, VamanaParams};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("PARLAYANN_SCALE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(10_000);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pool.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    println!("pool_scaling: Vamana build, n = {n}, machine parallelism = {cores}");
+    let data = bigann_like(n, 1, 42);
+    let params = VamanaParams::default();
+
+    // Warm-up (touches the data, faults pages, spawns nothing persistent).
+    let warm = parlay::with_threads(1, || {
+        VamanaIndex::build(data.points.clone(), data.metric, &params)
+            .graph
+            .fingerprint()
+    });
+
+    let threads = [1usize, 2, 4, 8];
+    let mut seconds = Vec::new();
+    let mut fingerprints = Vec::new();
+    for &t in &threads {
+        let points = data.points.clone();
+        let start = Instant::now();
+        let fp = parlay::with_threads(t, || {
+            VamanaIndex::build(points, data.metric, &params)
+                .graph
+                .fingerprint()
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        seconds.push(elapsed);
+        fingerprints.push(fp);
+    }
+
+    let deterministic = fingerprints.iter().all(|&fp| fp == warm);
+    println!("\n  threads    build time    speedup vs 1T");
+    for (&t, &s) in threads.iter().zip(&seconds) {
+        println!("  {t:>7}    {s:>8.3} s    {:>6.2}x", seconds[0] / s);
+    }
+    println!(
+        "\n  fingerprints: {} (0x{:016x})",
+        if deterministic {
+            "bit-identical across all thread counts"
+        } else {
+            "MISMATCH — determinism violated"
+        },
+        warm
+    );
+
+    // Append one JSON record (hand-rolled; the workspace has no serde).
+    let speedups: Vec<String> = seconds
+        .iter()
+        .map(|&s| format!("{:.3}", seconds[0] / s))
+        .collect();
+    let record = format!(
+        concat!(
+            "{{\"bench\":\"pool_scaling\",\"algo\":\"vamana\",\"n\":{},",
+            "\"available_parallelism\":{},\"threads\":[{}],",
+            "\"build_seconds\":[{}],\"speedup_vs_1\":[{}],",
+            "\"fingerprint\":\"0x{:016x}\",\"deterministic\":{}}}\n"
+        ),
+        n,
+        cores,
+        threads.map(|t| t.to_string()).join(","),
+        seconds
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        speedups.join(","),
+        warm,
+        deterministic
+    );
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()))
+        .expect("failed to write bench record");
+    println!("  appended record to {out_path}");
+
+    if !deterministic {
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@
 //! parallel writes to disjoint rows — never both at once.
 
 use crate::beam::{beam_search, QueryParams, VisitedMode};
-use crate::graph::FlatGraph;
+use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::prune::{heuristic_prune, robust_prune};
 use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 use parlay::{flatten, group_by_u32, map_slice};
@@ -226,13 +226,20 @@ fn batch_insert<T: VectorElem, P: PruneStrategy<T>>(
     });
     let mut total_dc: u64 = results.iter().map(|&(_, _, dc)| dc as u64).sum();
 
-    // Step 2 — write the new rows; batch ids are distinct, so rows are
-    // disjoint and no locks are needed.
+    // Step 2 — write the new rows. Sound under real concurrency: batch ids
+    // are distinct (a batch is a slice of the insertion permutation), so
+    // every task writes a disjoint graph row, and the fork-join barrier at
+    // the end of the loop publishes the writes before step 3 reads them.
+    // Row writes are cheap (≤ degree u32 copies), so chunk them rather
+    // than paying one task per row.
     {
         let writer = graph.writer();
-        results.par_iter().for_each(|(p, out, _)| unsafe {
-            writer.set_neighbors(*p, out);
-        });
+        results
+            .par_iter()
+            .with_min_len(ROW_WRITE_GRAIN)
+            .for_each(|(p, out, _)| unsafe {
+                writer.set_neighbors(*p, out);
+            });
     }
 
     // Step 3 — collect reverse edges (v ← p) and semisort by target v
@@ -291,12 +298,18 @@ fn batch_insert<T: VectorElem, P: PruneStrategy<T>>(
     });
     total_dc += updates.iter().map(|&(_, _, dc)| dc as u64).sum::<u64>();
 
-    // Step 5 — write the merged rows (one task per distinct target vertex).
+    // Step 5 — write the merged rows. The semisort guarantees one group —
+    // hence one task — per distinct target vertex, so rows are disjoint
+    // here too, and step 4 deferred these writes so no task reads a row
+    // another task writes.
     {
         let writer = graph.writer();
-        updates.par_iter().for_each(|(v, out, _)| unsafe {
-            writer.set_neighbors(*v, out);
-        });
+        updates
+            .par_iter()
+            .with_min_len(ROW_WRITE_GRAIN)
+            .for_each(|(v, out, _)| unsafe {
+                writer.set_neighbors(*v, out);
+            });
     }
     total_dc
 }

@@ -126,6 +126,11 @@ impl FlatGraph {
     }
 }
 
+/// Minimum rows per task for disjoint-row write loops over a
+/// [`GraphWriter`]: one row write is a handful of `u32` copies, far below
+/// task overhead, so tasks batch many rows.
+pub(crate) const ROW_WRITE_GRAIN: usize = 64;
+
 /// Write handle allowing concurrent updates to *disjoint* vertex rows.
 ///
 /// # Safety contract
@@ -133,6 +138,13 @@ impl FlatGraph {
 /// written) by at most one task. The builders guarantee this: step (1)
 /// writes rows of the freshly inserted batch (unique ids), and step (2)
 /// writes rows grouped by a semisort (one group — one vertex — one task).
+///
+/// Under the real work-stealing pool this is a genuine concurrent write
+/// path: disjointness makes the plain (non-atomic) row writes race-free,
+/// and visibility to later phases comes from the fork-join barrier ending
+/// each parallel loop — task completion is published through the pool's
+/// latches/queues, which happens-before everything after the loop. No row
+/// is read and written in the same parallel phase.
 pub struct GraphWriter<'a> {
     max_degree: usize,
     counts: UnsafeSliceCell<'a, u32>,

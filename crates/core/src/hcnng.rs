@@ -14,7 +14,7 @@
 
 use crate::beam::{beam_search, QueryParams};
 use crate::cluster::random_cluster_leaves;
-use crate::graph::FlatGraph;
+use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::medoid::medoid;
 use crate::prune::robust_prune;
 use crate::stats::{BuildStats, SearchStats};
@@ -269,9 +269,13 @@ impl<T: VectorElem> HcnngIndex<T> {
         let mut graph = FlatGraph::new(n, params.max_degree);
         {
             let writer = graph.writer();
-            rows.par_iter().for_each(|(v, out, _)| unsafe {
-                writer.set_neighbors(*v, out);
-            });
+            // Disjoint rows (one task per distinct vertex); chunked so a task
+            // amortizes scheduling over many cheap row writes.
+            rows.par_iter()
+                .with_min_len(ROW_WRITE_GRAIN)
+                .for_each(|(v, out, _)| unsafe {
+                    writer.set_neighbors(*v, out);
+                });
         }
         dc_total += rows.iter().map(|&(_, _, dc)| dc).sum::<u64>();
 

@@ -15,7 +15,7 @@
 
 use crate::beam::{beam_search, GraphView, QueryParams, VisitedMode};
 use crate::builder::insertion_order;
-use crate::graph::FlatGraph;
+use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::prune::heuristic_prune;
 use crate::stats::{BuildStats, SearchStats};
 use crate::AnnIndex;
@@ -268,6 +268,7 @@ impl<T: VectorElem> HnswIndex<T> {
                 new_rows
                     .par_iter()
                     .zip(locals.par_iter())
+                    .with_min_len(ROW_WRITE_GRAIN)
                     .for_each(|(&(_, out), &loc)| unsafe {
                         writer.set_neighbors(loc, out);
                     });
@@ -322,6 +323,7 @@ impl<T: VectorElem> HnswIndex<T> {
                 updates
                     .par_iter()
                     .zip(locals.par_iter())
+                    .with_min_len(ROW_WRITE_GRAIN)
                     .for_each(|((_, out, _), &loc)| unsafe {
                         writer.set_neighbors(loc, out);
                     });

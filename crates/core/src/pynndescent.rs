@@ -17,7 +17,7 @@
 
 use crate::beam::{beam_search, QueryParams};
 use crate::cluster::random_cluster_leaves;
-use crate::graph::FlatGraph;
+use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::medoid::medoid;
 use crate::prune::robust_prune;
 use crate::stats::{BuildStats, SearchStats};
@@ -225,9 +225,14 @@ impl<T: VectorElem> PyNNDescentIndex<T> {
                 })
                 .collect();
             let writer = graph.writer();
-            final_rows.par_iter().for_each(|(v, out)| unsafe {
-                writer.set_neighbors(*v, out);
-            });
+            // Disjoint rows (one task per distinct vertex); chunked so a task
+            // amortizes scheduling over many cheap row writes.
+            final_rows
+                .par_iter()
+                .with_min_len(ROW_WRITE_GRAIN)
+                .for_each(|(v, out)| unsafe {
+                    writer.set_neighbors(*v, out);
+                });
         }
 
         let mut starts = vec![medoid(&points)];

@@ -1,16 +1,34 @@
 //! Flat data-parallel building blocks: tabulate / map / indexed for-each.
 //!
-//! All helpers fall back to sequential execution below [`GRAIN`] elements;
-//! the fork-join model makes that purely a performance decision — results
-//! are identical either way.
+//! Work is forked with a *blocked* granularity rather than one task per
+//! element: each loop advertises a minimum of [`auto_grain`]`(n)` elements
+//! per task, capping the fan-out at [`MAX_LOOP_TASKS`] leaves so per-task
+//! scheduling overhead cannot swamp small loops, while loops of heavy items
+//! (one beam search per element in the graph builders, with `n` as small as
+//! a prefix-doubling batch) still split down to single elements and keep
+//! every worker busy. The grain depends only on `n` — never on the worker
+//! count — so fork trees, and therefore any order-sensitive combining, are
+//! identical at every thread count. On a one-thread pool the scheduler runs
+//! fork-join work inline, so these loops degrade to plain sequential
+//! iteration with no task overhead.
 
 use rayon::prelude::*;
 
-/// Granularity threshold below which loops run sequentially.
-///
-/// ParlayLib uses a similar block size to amortize task-spawn overhead;
-/// the value only affects performance, never results.
+/// Fixed block size used by the blocked primitives (`scan`, `pack`,
+/// `reduce_det`, `counting_sort`, …) whose *result* depends on the block
+/// structure. Fixed ⇒ schedule- and thread-count-independent results.
 pub const GRAIN: usize = 1024;
+
+/// Upper bound on tasks forked by one flat loop (see module docs).
+pub const MAX_LOOP_TASKS: usize = 256;
+
+/// Minimum elements per task for a flat loop over `n` elements: splits to
+/// at most [`MAX_LOOP_TASKS`] leaves, down to one element per task for
+/// small-`n` loops (whose bodies are typically the expensive ones).
+#[inline]
+pub fn auto_grain(n: usize) -> usize {
+    n.div_ceil(MAX_LOOP_TASKS).max(1)
+}
 
 /// Builds `[f(0), f(1), ..., f(n-1)]` in parallel.
 pub fn tabulate<T, F>(n: usize, f: F) -> Vec<T>
@@ -18,11 +36,11 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync + Send,
 {
-    if n < GRAIN {
-        (0..n).map(f).collect()
-    } else {
-        (0..n).into_par_iter().map(f).collect()
-    }
+    (0..n)
+        .into_par_iter()
+        .with_min_len(auto_grain(n))
+        .map(f)
+        .collect()
 }
 
 /// Parallel map over a slice.
@@ -32,11 +50,11 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync + Send,
 {
-    if items.len() < GRAIN {
-        items.iter().map(f).collect()
-    } else {
-        items.par_iter().map(f).collect()
-    }
+    items
+        .par_iter()
+        .with_min_len(auto_grain(items.len()))
+        .map(f)
+        .collect()
 }
 
 /// Parallel map with the element index.
@@ -46,11 +64,12 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync + Send,
 {
-    if items.len() < GRAIN {
-        items.iter().enumerate().map(|(i, x)| f(i, x)).collect()
-    } else {
-        items.par_iter().enumerate().map(|(i, x)| f(i, x)).collect()
-    }
+    items
+        .par_iter()
+        .with_min_len(auto_grain(items.len()))
+        .enumerate()
+        .map(|(i, x)| f(i, x))
+        .collect()
 }
 
 /// Parallel indexed for-each over `0..n` (side-effecting).
@@ -58,11 +77,10 @@ pub fn for_each_index<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync + Send,
 {
-    if n < GRAIN {
-        (0..n).for_each(f);
-    } else {
-        (0..n).into_par_iter().for_each(f);
-    }
+    (0..n)
+        .into_par_iter()
+        .with_min_len(auto_grain(n))
+        .for_each(f);
 }
 
 #[cfg(test)]
@@ -106,5 +124,22 @@ mod tests {
         }
         assert_eq!(v[0], 1);
         assert_eq!(v[4999], 5000);
+    }
+
+    #[test]
+    fn auto_grain_bounds_task_count() {
+        assert_eq!(auto_grain(0), 1);
+        assert_eq!(auto_grain(10), 1); // small loops split fully
+        assert!(auto_grain(1_000_000) >= 1_000_000 / MAX_LOOP_TASKS);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Fork trees depend only on n, so even order-sensitive float
+        // accumulation in a tabulate is bit-stable across pool sizes.
+        let run = || tabulate(30_000, |i| (i as f32).sin() * 0.5);
+        let a = crate::pool::with_threads(1, run);
+        let b = crate::pool::with_threads(4, run);
+        assert_eq!(a, b);
     }
 }

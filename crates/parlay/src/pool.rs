@@ -2,15 +2,27 @@
 //!
 //! The paper's scalability experiments (Fig. 1, Fig. 6) run the same build
 //! with varying worker counts. [`with_threads`] runs a closure inside a
-//! dedicated rayon pool with exactly `n` workers; the global pool is used
-//! otherwise.
+//! dedicated pool with exactly `n` workers; the global pool is used
+//! otherwise. Since PR 2 the pool is a real work-stealing scheduler
+//! (see `shims/rayon`), so `with_threads(8, …)` genuinely runs on 8
+//! workers — and the determinism assertions below compare *different real
+//! schedules*, not re-runs of the same sequential one.
+//!
+//! The default worker count — used by the lazily-spawned global pool and by
+//! `with_threads(0, …)` — honours the `PARLAY_NUM_THREADS` environment
+//! variable (then `RAYON_NUM_THREADS`, then the machine's available
+//! parallelism). CI runs the whole suite at `PARLAY_NUM_THREADS=1` and
+//! `=8` so both the inline-sequential and the stealing code paths stay
+//! gated.
 
-/// Runs `f` on a rayon pool with exactly `n` worker threads.
+/// Runs `f` on a pool with exactly `n` worker threads (`n = 0` means
+/// [`default_threads`]).
 ///
 /// Because every primitive in this crate is deterministic, `with_threads(1, f)`
 /// and `with_threads(p, f)` produce identical results; only wall-clock time
 /// differs. Integration tests assert exactly that for index builds.
 pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+    let n = if n == 0 { default_threads() } else { n };
     rayon::ThreadPoolBuilder::new()
         .num_threads(n)
         .build()
@@ -18,9 +30,29 @@ pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
         .install(f)
 }
 
-/// Number of threads in the current rayon pool.
+/// Number of threads in the current pool: the pool owning the current
+/// worker thread (so inside `with_threads(n, …)` this is `n`), or the
+/// global pool's size elsewhere.
 pub fn num_threads() -> usize {
     rayon::current_num_threads()
+}
+
+/// The default worker count: `PARLAY_NUM_THREADS`, else
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    for var in ["PARLAY_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -38,5 +70,19 @@ mod tests {
     #[test]
     fn with_threads_returns_closure_value() {
         assert_eq!(with_threads(2, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn zero_means_default() {
+        // Can't set the env var here (tests share the process), but n = 0
+        // must resolve to default_threads() and actually run.
+        assert_eq!(with_threads(0, num_threads), default_threads());
+    }
+
+    #[test]
+    fn nested_pools_report_innermost() {
+        let (outer, inner) = with_threads(4, || (num_threads(), with_threads(2, num_threads)));
+        assert_eq!(outer, 4);
+        assert_eq!(inner, 2);
     }
 }

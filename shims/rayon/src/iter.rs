@@ -1,0 +1,559 @@
+//! Parallel iterators over indexed sources (slices, ranges, chunks).
+//!
+//! This is the rayon API subset the workspace uses, rebuilt on the real
+//! [`join`](crate::join) pool. Everything here is *indexed*: a source knows
+//! its exact length and can produce a sequential iterator over any
+//! `[start, end)` subrange. Terminal operations recursively halve the index
+//! space down to a grain and fork with `join`, so leaves execute on
+//! whichever worker steals them.
+//!
+//! ## Determinism contract
+//!
+//! The split tree is a pure function of the *input length* and the
+//! [`with_min_len`](ParallelIterator::with_min_len) hint — never of the
+//! worker count or the schedule:
+//!
+//! ```text
+//! grain = max(min_len, ceil(n / MAX_TASKS)),   MAX_TASKS = 512 (fixed)
+//! ```
+//!
+//! and every combine is performed left-before-right. Consequences:
+//!
+//! * `collect` writes each item to its exact output index — bit-identical
+//!   at any thread count, trivially;
+//! * `sum` (and the flat-map concatenation) combine partial results in a
+//!   *fixed* tree, so even non-associative `f32` addition gives the same
+//!   bits at 1 thread and at 64;
+//! * `for_each` side effects may interleave arbitrarily — disjoint-write
+//!   callers (`UnsafeSliceCell`) rely only on disjointness, not order.
+//!
+//! The fixed `MAX_TASKS` fan-out (rather than rayon's thread-adaptive
+//! splitter) is what keeps the tree schedule-independent; 512 leaves keep
+//! any realistic worker count saturated under stealing while bounding
+//! per-task overhead to ~0.2 % of even microsecond-scale loop bodies.
+
+use std::mem::MaybeUninit;
+
+/// Upper bound on leaves per parallel operation (see module docs).
+const MAX_TASKS: usize = 512;
+
+/// A raw pointer that may cross threads (used for exact-position collect).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor (rather than a public field) so closures capture the whole
+    /// `Send + Sync` wrapper, not the bare raw pointer.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// An exactly-sized, randomly-divisible parallel iterator.
+///
+/// Only the three source methods (`par_len`, `seq_range`, `min_len_hint`)
+/// vary per type; adapters and terminal operations are provided.
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Element type.
+    type Item: Send;
+    /// Sequential iterator over a subrange (borrows `self`).
+    type SeqIter<'s>: Iterator<Item = Self::Item>
+    where
+        Self: 's;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+
+    /// Granularity floor requested via [`with_min_len`](Self::with_min_len)
+    /// (adapters propagate it from their base).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Sequential iterator over items `[start, end)`; must yield exactly
+    /// `end - start` items (`collect` writes them to fixed positions).
+    fn seq_range(&self, start: usize, end: usize) -> Self::SeqIter<'_>;
+
+    // ---------------- adapters ----------------
+
+    /// Maps each item through `f` (applied on the executing worker).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs each item with its global index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Iterates two sources in lockstep (length = the shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Requests at least `min` items per task (granularity control).
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: min.max(1),
+        }
+    }
+
+    /// Maps each item to a *sequential* iterator and concatenates the
+    /// results in input order (rayon's `flat_map_iter`).
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    // ---------------- terminal operations ----------------
+
+    /// Runs `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive(
+            &self,
+            &|p: &Self, lo, hi| p.seq_range(lo, hi).for_each(&f),
+            &|(), ()| (),
+        );
+    }
+
+    /// Collects into `C` (order-preserving; `Vec` writes items straight to
+    /// their final positions).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items. The combining tree is fixed by the input length, so
+    /// floating-point sums are deterministic across thread counts (though
+    /// they differ from a strictly sequential left fold).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(
+            &self,
+            &|p: &Self, lo, hi| p.seq_range(lo, hi).sum::<S>(),
+            &|a, b| [a, b].into_iter().sum::<S>(),
+        )
+    }
+}
+
+/// Recursive halving driver: leaves run `leaf`, inner nodes `combine`
+/// left-before-right. The tree depends only on `par_len` and the min-len
+/// hint (see module docs).
+fn drive<P, R, L, C>(p: &P, leaf: &L, combine: &C) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    L: Fn(&P, usize, usize) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let n = p.par_len();
+    let grain = p.min_len_hint().max(n.div_ceil(MAX_TASKS)).max(1);
+    rec(p, 0, n, grain, leaf, combine)
+}
+
+fn rec<P, R, L, C>(p: &P, lo: usize, hi: usize, grain: usize, leaf: &L, combine: &C) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    L: Fn(&P, usize, usize) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    if hi - lo <= grain {
+        return leaf(p, lo, hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (left, right) = crate::join(
+        || rec(p, lo, mid, grain, leaf, combine),
+        || rec(p, mid, hi, grain, leaf, combine),
+    );
+    combine(left, right)
+}
+
+/// Types buildable from a parallel iterator (`collect` target).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self`, preserving item order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Vec<T> {
+        let n = p.par_len();
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit contents may be uninitialized. If a leaf
+        // panics, `out` drops as MaybeUninit (no element drops): written
+        // items leak, but there is no UB.
+        unsafe { out.set_len(n) };
+        let ptr = SendPtr(out.as_mut_ptr());
+        drive(
+            &p,
+            &move |p: &P, lo, hi| {
+                let mut idx = lo;
+                for item in p.seq_range(lo, hi) {
+                    debug_assert!(idx < hi, "seq_range yielded too many items");
+                    // SAFETY: leaves own disjoint index ranges, and every
+                    // index is written exactly once (seq_range is exact).
+                    unsafe { ptr.get().add(idx).write(MaybeUninit::new(item)) };
+                    idx += 1;
+                }
+                debug_assert_eq!(idx, hi, "seq_range yielded too few items");
+            },
+            &|(), ()| (),
+        );
+        // SAFETY: all `n` positions are initialized; layouts of
+        // Vec<MaybeUninit<T>> and Vec<T> are identical.
+        let mut out = std::mem::ManuallyDrop::new(out);
+        unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut T, n, out.capacity()) }
+    }
+}
+
+// ---------------- sources ----------------
+
+/// Parallel iterator over `&[T]` (yields `&T`).
+pub struct SliceIter<'d, T> {
+    slice: &'d [T],
+}
+
+impl<'d, T: Sync> ParallelIterator for SliceIter<'d, T> {
+    type Item = &'d T;
+    type SeqIter<'s>
+        = std::slice::Iter<'d, T>
+    where
+        Self: 's;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn seq_range(&self, start: usize, end: usize) -> std::slice::Iter<'d, T> {
+        self.slice[start..end].iter()
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice (yields `&[T]`).
+pub struct ChunksIter<'d, T> {
+    slice: &'d [T],
+    size: usize,
+}
+
+impl<'d, T: Sync> ParallelIterator for ChunksIter<'d, T> {
+    type Item = &'d [T];
+    type SeqIter<'s>
+        = std::slice::Chunks<'d, T>
+    where
+        Self: 's;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn seq_range(&self, start: usize, end: usize) -> std::slice::Chunks<'d, T> {
+        let lo = start * self.size;
+        let hi = (end * self.size).min(self.slice.len());
+        self.slice[lo..hi].chunks(self.size)
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! range_impls {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type SeqIter<'s>
+                = std::ops::Range<$t>
+            where
+                Self: 's;
+
+            fn par_len(&self) -> usize {
+                self.len
+            }
+
+            fn seq_range(&self, start: usize, end: usize) -> std::ops::Range<$t> {
+                self.start + start as $t..self.start + end as $t
+            }
+        }
+    )*};
+}
+
+range_impls!(u32, u64, usize, i32, i64);
+
+// ---------------- adapters ----------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    type SeqIter<'s>
+        = std::iter::Map<B::SeqIter<'s>, &'s F>
+    where
+        Self: 's;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn seq_range(&self, start: usize, end: usize) -> Self::SeqIter<'_> {
+        self.base.seq_range(start, end).map(&self.f)
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+}
+
+/// Sequential side of [`Enumerate`]: carries the global start index.
+pub struct EnumerateSeq<I> {
+    inner: I,
+    index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let index = self.index;
+        self.index += 1;
+        Some((index, item))
+    }
+}
+
+impl<B: ParallelIterator> ParallelIterator for Enumerate<B> {
+    type Item = (usize, B::Item);
+    type SeqIter<'s>
+        = EnumerateSeq<B::SeqIter<'s>>
+    where
+        Self: 's;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn seq_range(&self, start: usize, end: usize) -> Self::SeqIter<'_> {
+        EnumerateSeq {
+            inner: self.base.seq_range(start, end),
+            index: start,
+        }
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter<'s>
+        = std::iter::Zip<A::SeqIter<'s>, B::SeqIter<'s>>
+    where
+        Self: 's;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+
+    fn seq_range(&self, start: usize, end: usize) -> Self::SeqIter<'_> {
+        self.a
+            .seq_range(start, end)
+            .zip(self.b.seq_range(start, end))
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
+    type Item = B::Item;
+    type SeqIter<'s>
+        = B::SeqIter<'s>
+    where
+        Self: 's;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.min.max(self.base.min_len_hint())
+    }
+
+    fn seq_range(&self, start: usize, end: usize) -> Self::SeqIter<'_> {
+        self.base.seq_range(start, end)
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`]. Output length is unknown in
+/// advance, so this is not itself a [`ParallelIterator`]; it offers the
+/// terminal operations the workspace uses, concatenating per-leaf results
+/// in input order (deterministic).
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: ParallelIterator, F> FlatMapIter<B, F> {
+    /// Collects the concatenation, preserving input order.
+    pub fn collect<C, U>(self) -> C
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(B::Item) -> U + Sync + Send,
+        C: From<Vec<U::Item>>,
+    {
+        let f = &self.f;
+        let parts = drive(
+            &self.base,
+            &|p: &B, lo, hi| {
+                let mut out = Vec::new();
+                for item in p.seq_range(lo, hi) {
+                    out.extend(f(item));
+                }
+                out
+            },
+            &|mut left: Vec<U::Item>, mut right| {
+                left.append(&mut right);
+                left
+            },
+        );
+        C::from(parts)
+    }
+
+    /// Runs `g` on every produced item (order across leaves is scheduling).
+    pub fn for_each<G, U>(self, g: G)
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(B::Item) -> U + Sync + Send,
+        G: Fn(U::Item) + Sync + Send,
+    {
+        let f = &self.f;
+        drive(
+            &self.base,
+            &|p: &B, lo, hi| {
+                for item in p.seq_range(lo, hi) {
+                    f(item).into_iter().for_each(&g);
+                }
+            },
+            &|(), ()| (),
+        );
+    }
+}
+
+// ---------------- entry points ----------------
+
+/// `collection.into_par_iter()` for owned/range sources.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `collection.par_iter()` — by-reference parallel iteration.
+pub trait IntoParallelRefIterator<'d> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a reference).
+    type Item: Send + 'd;
+    /// Borrows as a parallel iterator.
+    fn par_iter(&'d self) -> Self::Iter;
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Iter = SliceIter<'d, T>;
+    type Item = &'d T;
+
+    fn par_iter(&'d self) -> SliceIter<'d, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+    type Iter = SliceIter<'d, T>;
+    type Item = &'d T;
+
+    fn par_iter(&'d self) -> SliceIter<'d, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `slice.par_chunks(n)` — parallel iteration over fixed-size chunks.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel version of `slice.chunks(chunk_size)`.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksIter {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}

@@ -1,31 +1,67 @@
-//! Offline stand-in for [rayon](https://docs.rs/rayon) with the API subset
-//! this workspace uses.
+//! Offline work-stealing stand-in for [rayon](https://docs.rs/rayon) with
+//! the API subset this workspace uses.
 //!
 //! The build container has no access to a crates registry, so the workspace
-//! vendors minimal shims for its external dependencies (see `shims/` in the
-//! repo root). This one maps rayon's fork-join API onto **sequential**
-//! execution:
+//! vendors shims for its external dependencies (see `shims/` in the repo
+//! root). Until PR 2 this crate mapped rayon's fork-join API onto
+//! *sequential* execution; it is now a real fork-join pool, pure `std`:
 //!
-//! * `join(a, b)` runs `a` then `b` on the calling thread;
-//! * `par_iter` / `into_par_iter` / `par_chunks` return the corresponding
-//!   standard sequential iterators, so every adapter (`map`, `for_each`,
-//!   `collect`, …) is the `std::iter` one;
-//! * `ThreadPoolBuilder::build().install(f)` runs `f` inline, recording the
-//!   requested worker count so `current_num_threads` reports it.
+//! * **[`join`]** forks its second closure onto the calling worker's deque,
+//!   runs the first inline, and steals other tasks while waiting if the
+//!   fork was taken by another worker. Both-panic semantics match rayon
+//!   (the first closure's panic wins).
+//! * **Workers & stealing** — per-worker mutex-protected deques (LIFO local
+//!   pop, FIFO steal), an injector queue for external threads, and
+//!   spin-then-nap idling. See [`registry`](crate::registry) docs.
+//! * **[`iter`]** — indexed parallel iterators (`par_iter`, `into_par_iter`
+//!   over ranges, `par_chunks`, `map`/`enumerate`/`zip`/`with_min_len`/
+//!   `flat_map_iter`, `for_each`/`collect`/`sum`) whose split tree is a
+//!   pure function of input length — *not* of worker count — so reduction
+//!   order is deterministic (the property every build in this workspace
+//!   relies on; see the module docs).
+//! * **[`scope`]/[`Scope::spawn`]/[`spawn`]** — structured and
+//!   fire-and-forget task spawning.
+//! * **[`ThreadPool`]** — genuinely bounded pools: `install` runs its
+//!   closure *on* the pool's workers, so work inside really uses `n`
+//!   threads, and [`current_num_threads`] inside a worker reports the pool
+//!   that owns the thread (nested `install`s included).
 //!
-//! Every algorithm in this workspace is *deterministic by construction*
-//! (outputs never depend on the schedule), so sequential execution produces
-//! bit-identical results to a real parallel run — only wall-clock time
-//! differs. Swapping the real crate back in is a one-line change in the
-//! workspace manifest and requires no source edits.
+//! The global pool spawns lazily on first use with
+//! `PARLAY_NUM_THREADS`/`RAYON_NUM_THREADS` (else the machine's available
+//! parallelism) workers. Pools of one thread run fork-join work inline —
+//! `with_threads(1, …)` is exactly the old sequential shim.
+//!
+//! Swapping crates.io rayon back in remains a one-line change in the
+//! workspace manifest: the API surface is call-compatible. Known deltas vs
+//! the real crate: only the subset above is implemented; iterator splitting
+//! is static rather than steal-adaptive (deliberate, for determinism); and
+//! `spawn` always targets the global pool.
 
-use std::cell::Cell;
+mod job;
+mod latch;
+mod registry;
+mod scope;
 
-thread_local! {
-    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
+pub mod iter;
 
-/// Runs both closures and returns their results. Sequential: `a` first.
+pub use scope::{scope, Scope};
+
+use job::{HeapJob, JobResult, StackJob};
+use latch::SpinLatch;
+use registry::{current_registry, global_registry, Registry};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `b` is made available for stealing while the calling thread runs `a`;
+/// if nobody stole it, the caller runs it too (so a 1-thread pool degrades
+/// to exactly `(a(), b())`). Called from outside any pool, the whole join
+/// is shipped to the global pool and the caller blocks.
+///
+/// If `a` panics, its panic is rethrown after `b` completes; otherwise a
+/// panic from `b` is rethrown.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -33,19 +69,77 @@ where
     RA: Send,
     RB: Send,
 {
-    (a(), b())
+    match current_registry() {
+        Some((registry, index)) => {
+            if registry.num_threads() == 1 {
+                return (a(), b());
+            }
+            join_on_worker(registry, index, a, b)
+        }
+        None => {
+            let registry = global_registry();
+            if registry.num_threads() == 1 {
+                return (a(), b());
+            }
+            Arc::clone(registry).in_worker(move || join(a, b))
+        }
+    }
 }
 
-/// Number of workers in the "current pool": the count requested by the
-/// innermost [`ThreadPool::install`], or the machine parallelism outside one.
+fn join_on_worker<A, B, RA, RB>(registry: &Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b, SpinLatch::new(registry));
+    // SAFETY: `job_b` lives on this frame and we do not return before its
+    // latch is set (the wait below), so the erased reference stays valid.
+    unsafe { registry.push_local(index, job_b.as_job_ref()) };
+    let result_a = panic::catch_unwind(AssertUnwindSafe(a));
+    // Execute other tasks (possibly job_b itself, still in our deque) until
+    // job_b is done, wherever it ran.
+    registry.wait_until(index, || job_b.latch.probe());
+    let result_b = unsafe { job_b.take_result() };
+    let ra = match result_a {
+        Ok(ra) => ra,
+        // `a`'s panic wins; `b` has completed (above), its outcome is moot.
+        Err(payload) => panic::resume_unwind(payload),
+    };
+    match result_b {
+        JobResult::Ok(rb) => (ra, rb),
+        JobResult::Panic(payload) => panic::resume_unwind(payload),
+        JobResult::None => unreachable!("join latch set without a result"),
+    }
+}
+
+/// Queues `f` on the global pool, fire-and-forget. A panic in `f` is
+/// swallowed (rayon aborts instead; nothing in this workspace spawns
+/// panicking detached work).
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let wrapped = Box::new(move || {
+        let _ = panic::catch_unwind(AssertUnwindSafe(f));
+    });
+    // SAFETY: 'static closure; executes once on the global pool.
+    let job = unsafe { HeapJob::into_job_ref(wrapped) };
+    global_registry().inject(job);
+}
+
+/// Number of workers in the pool that owns the current thread, or in the
+/// global pool for threads outside any pool.
+///
+/// Inside [`ThreadPool::install`] the closure runs *on* the pool's workers,
+/// so this reports that pool's size — including under nested installs,
+/// where the innermost pool wins (its worker is running the closure).
 pub fn current_num_threads() -> usize {
-    INSTALLED_THREADS.with(|t| {
-        t.get().unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-    })
+    match current_registry() {
+        Some((registry, _)) => registry.num_threads(),
+        None => global_registry().num_threads(),
+    }
 }
 
 /// Error type matching `rayon::ThreadPoolBuildError`.
@@ -72,120 +166,67 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Requests `n` worker threads (0 = machine default).
+    /// Requests `n` worker threads (0 = the global default:
+    /// `PARLAY_NUM_THREADS`/`RAYON_NUM_THREADS`, else the machine).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the (virtual) pool.
+    /// Builds the pool, spawning its workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            registry::default_global_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        let (registry, handles) = Registry::spawn(n);
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A scoped "pool": remembers its worker count for `current_num_threads`.
+/// A bounded worker pool. Dropping it shuts the workers down (pending work
+/// is drained first).
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with this pool current.
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        INSTALLED_THREADS.with(|t| {
-            let prev = t.replace(Some(self.num_threads));
-            let out = f();
-            t.set(prev);
-            out
-        })
+    /// Runs `op` on this pool's workers, blocking until it completes.
+    /// Fork-join work inside `op` uses exactly this pool. Re-entrant
+    /// installs from a worker of this same pool run inline.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        match current_registry() {
+            Some((registry, _)) if std::ptr::eq(registry, &*self.registry) => op(),
+            _ => self.registry.in_worker(op),
+        }
     }
 
     /// The worker count this pool was built with.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
     }
 }
 
-pub mod iter {
-    //! Sequential stand-ins for rayon's parallel iterator entry points.
-
-    /// `collection.into_par_iter()` — the standard `into_iter`.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's `into_par_iter`.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
-
-    impl<C: IntoIterator + Sized> IntoParallelIterator for C {}
-
-    /// `collection.par_iter()` — the standard by-reference iterator.
-    pub trait IntoParallelRefIterator {
-        /// The by-reference iterator type.
-        type Iter<'a>: Iterator
-        where
-            Self: 'a;
-        /// Sequential stand-in for rayon's `par_iter`.
-        fn par_iter(&self) -> Self::Iter<'_>;
-    }
-
-    impl<C> IntoParallelRefIterator for C
-    where
-        C: ?Sized,
-        for<'a> &'a C: IntoIterator,
-    {
-        type Iter<'a>
-            = <&'a C as IntoIterator>::IntoIter
-        where
-            C: 'a;
-        fn par_iter(&self) -> Self::Iter<'_> {
-            self.into_iter()
-        }
-    }
-
-    /// `slice.par_chunks(n)` — the standard `chunks`.
-    pub trait ParallelSlice<T> {
-        /// Sequential stand-in for rayon's `par_chunks`.
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Rayon-only adapters that have no `std::iter` equivalent.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        /// Rayon's `flat_map_iter` — sequentially identical to `flat_map`.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Rayon's `with_min_len` — a no-op sequentially.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-    }
-
-    impl<I: Iterator + Sized> ParallelIteratorExt for I {}
 }
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude`.
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, ParallelIteratorExt, ParallelSlice,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
     };
 }
 
@@ -208,6 +249,21 @@ mod tests {
     }
 
     #[test]
+    fn worker_reports_owning_pool_not_ambient() {
+        // A worker's thread-local registry decides current_num_threads: a
+        // pool-2 worker must say 2 even while a pool-5 install is on the
+        // stack of a *different* thread.
+        let outer = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen = outer.install(|| {
+            assert_eq!(current_num_threads(), 5);
+            inner.install(|| (current_num_threads(), join(current_num_threads, || ())))
+        });
+        assert_eq!(seen.0, 2);
+        assert_eq!(seen.1 .0, 2);
+    }
+
+    #[test]
     fn iterator_shims_behave_like_std() {
         let v = vec![1u32, 2, 3, 4];
         let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
@@ -217,6 +273,55 @@ mod tests {
         let chunks: Vec<&[u32]> = v.par_chunks(3).collect();
         assert_eq!(chunks, vec![&v[0..3], &v[3..4]]);
         let flat: Vec<u32> = v.par_iter().flat_map_iter(|&x| [x, x]).collect();
-        assert_eq!(flat.len(), 8);
+        assert_eq!(flat, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let n = 100_000usize;
+        let squares: Vec<u64> = (0..n as u64).into_par_iter().map(|i| i * i).collect();
+        for (i, &x) in squares.iter().enumerate() {
+            assert_eq!(x, (i * i) as u64);
+        }
+        let total: u64 = squares.par_iter().sum();
+        assert_eq!(total, squares.iter().sum::<u64>());
+        let pairs: Vec<(usize, u64)> = squares
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x))
+            .collect();
+        assert!(pairs.iter().enumerate().all(|(i, &(j, _))| i == j));
+    }
+
+    #[test]
+    fn zip_and_min_len() {
+        let a: Vec<u32> = (0..10_000).collect();
+        let b: Vec<u32> = (0..9_000).map(|x| x * 2).collect();
+        let zipped: Vec<u32> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .with_min_len(64)
+            .map(|(&x, &y)| x + y)
+            .collect();
+        assert_eq!(zipped.len(), 9_000);
+        assert!(zipped.iter().enumerate().all(|(i, &v)| v as usize == 3 * i));
+    }
+
+    #[test]
+    fn scope_runs_all_spawns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    // Nested spawn on the same scope.
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 128);
     }
 }

@@ -1,0 +1,266 @@
+//! The work-stealing pool: worker threads, per-worker deques, and the
+//! global (lazily spawned) registry.
+//!
+//! Scheduling model — the classic fork-join arrangement:
+//!
+//! * each worker owns a deque; it pushes forked work on the **back** and
+//!   pops its own work LIFO from the back (good locality, bounded space);
+//! * idle workers steal FIFO from the **front** of other workers' deques
+//!   (steals take the *oldest*, i.e. largest, task — good balance);
+//! * threads outside any pool hand work in through a shared injector queue;
+//! * a worker waiting for a stolen task's latch executes other tasks
+//!   instead of blocking ("steal while waiting"), so the pool never
+//!   deadlocks on nested joins;
+//! * idle workers spin briefly, then nap on a condvar with a short timeout
+//!   (a missed wakeup therefore costs at most the timeout, never liveness).
+//!
+//! The deques are mutex-protected `VecDeque`s rather than lock-free
+//! Chase-Lev deques: tasks here are grain-sized (hundreds of elements or a
+//! whole beam search), so queue operations are far off the critical path,
+//! and the mutex version is obviously correct. Locks are held only for
+//! push/pop — never across user code — so user panics cannot poison them.
+//!
+//! Scheduling is nondeterministic; *results* are not: every combine in this
+//! workspace happens in a schedule-independent order (see `crate::iter` and
+//! `parlay`), which is exactly the property the determinism tests pin down.
+
+use crate::job::{JobRef, JobResult, StackJob};
+use crate::latch::LockLatch;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Spins in a wait loop before napping on the condvar.
+const SPINS_BEFORE_NAP: usize = 16;
+/// Nap length; also bounds the cost of a missed wakeup.
+const NAP: Duration = Duration::from_micros(200);
+
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    /// Workers currently napping on `idle_cond` (incremented under
+    /// `idle_lock`). Lets the hot fork path skip the condvar syscall when
+    /// everyone is busy; the nap timeout bounds the cost of the inherent
+    /// increment-vs-check race.
+    sleepers: AtomicUsize,
+    num_threads: usize,
+    terminating: AtomicBool,
+}
+
+thread_local! {
+    /// `(registry, worker index)` while the current thread is a pool worker.
+    /// The raw pointer is valid for the worker's whole life: `worker_main`
+    /// holds the owning `Arc` for as long as the flag is set.
+    static WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+/// The registry owning the current thread, if it is a worker.
+///
+/// The `'static` lifetime is a local fiction: the reference is only valid on
+/// this thread, which keeps its registry alive until `worker_main` returns.
+/// It must not be stashed anywhere that outlives the current call.
+pub(crate) fn current_registry() -> Option<(&'static Registry, usize)> {
+    WORKER.with(|w| w.get().map(|(ptr, index)| (unsafe { &*ptr }, index)))
+}
+
+impl Registry {
+    /// Creates a registry with `num_threads` workers and starts them.
+    pub(crate) fn spawn(num_threads: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
+        assert!(num_threads > 0, "a pool needs at least one worker");
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            num_threads,
+            terminating: AtomicBool::new(false),
+        });
+        let handles = (0..num_threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("parlay-worker-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Wakes every napping worker (a latch set, or termination) — skipped
+    /// entirely when nobody is napping.
+    pub(crate) fn notify_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.idle_cond.notify_all();
+        }
+    }
+
+    /// Wakes one napping worker (one new job) — skipped when nobody naps.
+    fn notify_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            self.idle_cond.notify_one();
+        }
+    }
+
+    /// Naps on the idle condvar for at most [`NAP`], bookkeeping `sleepers`
+    /// so notifiers can skip the syscall when every worker is busy.
+    fn nap(&self, recheck: impl Fn() -> bool) {
+        let guard = self.idle_lock.lock().unwrap();
+        // Re-check under the lock: a notify between the caller's last probe
+        // and this wait would otherwise be missed (the nap timeout bounds
+        // the damage of the remaining sleepers-counter race regardless).
+        if recheck() {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let result = self.idle_cond.wait_timeout(guard, NAP).unwrap();
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        drop(result);
+    }
+
+    /// Pushes forked work onto worker `index`'s own deque.
+    pub(crate) fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.notify_one();
+    }
+
+    /// Queues work from outside the pool (or from a foreign pool's worker).
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_one();
+    }
+
+    /// Next job for worker `me`: own deque LIFO, else injector, else steal
+    /// FIFO from the other workers (scan order starts after `me`, which
+    /// spreads contention; *which* job runs where is scheduling, not
+    /// semantics).
+    fn find_work(&self, me: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[me].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.num_threads;
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Steal-while-waiting: executes other tasks until `done()` holds.
+    ///
+    /// Called on worker `me`'s thread. The executed tasks may include the
+    /// very job being waited for (if it is still in our own deque), and
+    /// b-arms of *outer* joins on this same stack — both are sound: a task
+    /// never returns to its waiter except through its latch.
+    pub(crate) fn wait_until(&self, me: usize, done: impl Fn() -> bool) {
+        let mut idle = 0usize;
+        while !done() {
+            if let Some(job) = self.find_work(me) {
+                // Jobs catch panics internally; the assert is belt and
+                // braces so a bug cannot unwind through the wait loop.
+                let _ = panic::catch_unwind(AssertUnwindSafe(|| unsafe { job.execute() }));
+                idle = 0;
+            } else if idle < SPINS_BEFORE_NAP {
+                idle += 1;
+                std::thread::yield_now();
+            } else {
+                self.nap(&done);
+            }
+        }
+    }
+
+    /// Runs `op` on one of this registry's workers, blocking the calling
+    /// (non-member) thread until it completes. Panics in `op` resume here.
+    pub(crate) fn in_worker<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        debug_assert!(
+            !current_registry().is_some_and(|(r, _)| std::ptr::eq(r, self)),
+            "in_worker called from a worker of the same pool"
+        );
+        let job = StackJob::new(op, LockLatch::new());
+        // SAFETY: `job` outlives the wait below, and is executed once.
+        unsafe { self.inject(job.as_job_ref()) };
+        job.latch.wait();
+        match unsafe { job.take_result() } {
+            JobResult::Ok(value) => value,
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+            JobResult::None => unreachable!("latch set without a result"),
+        }
+    }
+
+    /// Asks workers to exit once the queues drain.
+    pub(crate) fn terminate(&self) {
+        self.terminating.store(true, Ordering::Release);
+        self.notify_all();
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    let mut idle = 0usize;
+    loop {
+        if let Some(job) = registry.find_work(index) {
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| unsafe { job.execute() }));
+            idle = 0;
+        } else if registry.terminating.load(Ordering::Acquire) {
+            // Queues are empty and the pool is shutting down.
+            break;
+        } else if idle < SPINS_BEFORE_NAP {
+            idle += 1;
+            std::thread::yield_now();
+        } else {
+            registry.nap(|| registry.terminating.load(Ordering::Acquire));
+        }
+    }
+    WORKER.with(|w| w.set(None));
+}
+
+/// Worker count for the lazily spawned global pool:
+/// `PARLAY_NUM_THREADS`, else `RAYON_NUM_THREADS`, else the machine.
+pub(crate) fn default_global_threads() -> usize {
+    for var in ["PARLAY_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide pool, spawned on first use. Its threads are detached:
+/// they live for the rest of the process.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        let (registry, _handles) = Registry::spawn(default_global_threads());
+        registry
+    })
+}

@@ -1,0 +1,116 @@
+//! Structured task spawning: [`scope`] and [`Scope::spawn`].
+//!
+//! `scope(|s| …)` runs its closure on a pool worker; `s.spawn(f)` queues
+//! `f` to run on the pool, and the scope does not return until every
+//! spawned task (transitively) has finished. Because completion is awaited,
+//! spawned closures may borrow from outside the scope (`'scope` data), just
+//! like `rayon::scope`.
+//!
+//! Panic semantics match rayon: the first panic (from the body or any
+//! spawned task) is rethrown by `scope` after all tasks complete.
+
+use crate::job::HeapJob;
+use crate::latch::CountLatch;
+use crate::registry::{current_registry, global_registry, Registry};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// A handle for spawning tasks that may borrow `'scope` data.
+pub struct Scope<'scope> {
+    registry: &'scope Registry,
+    tasks: CountLatch,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    // Invariant over 'scope, as in rayon: spawned closures may both borrow
+    // and capture mutable borrows of 'scope data.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Creates a scope on the current pool (the pool owning the current worker
+/// thread, or the global pool) and waits for all spawned work.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    match current_registry() {
+        Some((registry, index)) => scope_on_worker(registry, index, op),
+        None => {
+            let registry = Arc::clone(global_registry());
+            registry.in_worker(move || {
+                let (registry, index) = current_registry().expect("in_worker must run on a worker");
+                scope_on_worker(registry, index, op)
+            })
+        }
+    }
+}
+
+fn scope_on_worker<'scope, OP, R>(registry: &Registry, index: usize, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        // SAFETY: the scope (and everything spawned on it) completes before
+        // this frame returns, so the registry strictly outlives the scope.
+        registry: unsafe { &*(registry as *const Registry) },
+        tasks: CountLatch::new(),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let body = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Steal-while-waiting until every spawned task has run.
+    registry.wait_until(index, || scope.tasks.done());
+    let spawned_panic = scope.panic.lock().unwrap().take();
+    match (body, spawned_panic) {
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), Some(payload)) => panic::resume_unwind(payload),
+        (Ok(value), None) => value,
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` on the pool; it runs before the enclosing [`scope`]
+    /// returns and may itself spawn further tasks on the same scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.tasks.increment();
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let task = Box::new(move || {
+            // SAFETY: the scope outlives every spawned task (its waiter does
+            // not return until the count drains to zero).
+            let scope = unsafe { &*scope_ptr.get() };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            // Must be last: releases the task's writes to the scope waiter.
+            scope.tasks.decrement(scope.registry);
+        });
+        // Erase 'scope: sound for the same reason the raw pointer is.
+        let task: Box<dyn FnOnce() + Send + 'scope> = task;
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        let job = unsafe { HeapJob::into_job_ref(task) };
+        match current_registry() {
+            Some((registry, index)) if std::ptr::eq(registry, self.registry) => {
+                registry.push_local(index, job)
+            }
+            _ => self.registry.inject(job),
+        }
+    }
+}
+
+/// `*const Scope` that may cross threads (the scope itself is `Sync`: every
+/// field is, and the raw pointer is only dereferenced while the scope is
+/// alive).
+struct ScopePtr<'scope>(*const Scope<'scope>);
+unsafe impl Send for ScopePtr<'_> {}
+impl<'scope> ScopePtr<'scope> {
+    /// Accessor so closures capture the `Send` wrapper, not the raw field.
+    fn get(&self) -> *const Scope<'scope> {
+        self.0
+    }
+}

@@ -64,6 +64,30 @@ fn pynndescent_fingerprint_stable() {
 }
 
 #[test]
+fn twenty_runs_at_8_threads_are_bit_identical() {
+    // The headline stress test for the real work-stealing pool: the same
+    // build, 20 times, on 8 workers. Every run sees a different real
+    // schedule (stealing order, task placement); every fingerprint must be
+    // the same bits. Before PR 2 this was vacuous (the shim was
+    // sequential); now it gates the scheduler itself.
+    let d = bigann_like(600, 1, 18);
+    let params = VamanaParams::default();
+    let baseline = parlay::with_threads(1, || {
+        VamanaIndex::build(d.points.clone(), d.metric, &params)
+            .graph
+            .fingerprint()
+    });
+    for run in 0..20 {
+        let fp = parlay::with_threads(8, || {
+            VamanaIndex::build(d.points.clone(), d.metric, &params)
+                .graph
+                .fingerprint()
+        });
+        assert_eq!(fp, baseline, "run {run} diverged from the 1-thread build");
+    }
+}
+
+#[test]
 fn repeated_builds_are_identical() {
     // Same thread count, two runs: also identical (no time/address
     // dependence anywhere).
@@ -131,10 +155,9 @@ fn baselines_are_deterministic_too() {
 fn beam_search_byte_identical_across_1_4_8_threads() {
     // The batched SIMD expansion path must stay a pure function of
     // (graph, query): build once, then require bit-identical `(id,
-    // distance)` sequences at 1, 4, and 8 worker threads. NOTE: under the
-    // offline rayon shim (shims/rayon) every pool runs sequentially, so
-    // today this checks purity across `with_threads` runs; its teeth are
-    // for the day real rayon is restored (ROADMAP "Real thread pool").
+    // distance)` sequences at 1, 4, and 8 worker threads. Since PR 2 the
+    // pool is a real work-stealing scheduler, so the 4- and 8-thread runs
+    // execute under genuinely nondeterministic schedules.
     let d = bigann_like(N, 16, 17);
     let index = VamanaIndex::build(d.points.clone(), d.metric, &VamanaParams::default());
     let params = QueryParams {
