@@ -15,7 +15,7 @@ use crate::kmeans::{self, to_f32_vec, KMeans};
 use crate::pq::{PqParams, ProductQuantizer};
 use ann_data::{distance, Metric, PointSet, VectorElem};
 use parlay::{group_by_u32, tabulate};
-use parlayann::{AnnIndex, QueryParams, SearchStats};
+use parlayann::{AnnIndex, IndexKind, IndexStats, QueryParams, RangeParams, SearchStats};
 use rayon::prelude::*;
 
 /// Build parameters for [`IvfIndex`].
@@ -221,6 +221,46 @@ impl<T: VectorElem> AnnIndex<T> for IvfIndex<T> {
         } else {
             format!("FAISS-IVF({})", self.lists.len())
         }
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Ivf
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            points: self.points.len(),
+            dim: self.points.dim(),
+            edges: 0,
+            max_degree: self.lists.iter().map(|l| l.len()).max().unwrap_or(0),
+            layers: self.lists.len(),
+            build: self.build_stats,
+        }
+    }
+
+    /// Exact range search over the `params.beam` nearest posting lists
+    /// (IVF's natural radius query: scan the probed lists, keep members
+    /// within the radius — PQ codes are bypassed because a radius
+    /// predicate needs exact distances).
+    fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let qf = to_f32_vec(query);
+        let ranked = self.quantizer.rank_all(&qf);
+        stats.dist_comps += self.quantizer.k();
+        let nprobe = params.beam.clamp(1, self.lists.len());
+        let mut results: Vec<(u32, f32)> = Vec::new();
+        for &(c, _) in ranked.iter().take(nprobe) {
+            stats.hops += 1;
+            for &id in &self.lists[c as usize] {
+                let d = distance(query, self.points.point(id as usize), self.metric);
+                stats.dist_comps += 1;
+                if d <= params.radius {
+                    results.push((id, d));
+                }
+            }
+        }
+        results.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        (results, stats)
     }
 }
 

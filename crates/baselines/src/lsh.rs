@@ -15,7 +15,7 @@
 use crate::kmeans::to_f32_vec;
 use ann_data::{distance, Metric, PointSet, VectorElem};
 use parlay::{group_by_u32, tabulate, Random};
-use parlayann::{AnnIndex, QueryParams, SearchStats};
+use parlayann::{AnnIndex, IndexKind, IndexStats, QueryParams, SearchStats};
 
 /// Build parameters for [`LshIndex`].
 #[derive(Clone, Copy, Debug)]
@@ -222,6 +222,21 @@ impl<T: VectorElem> AnnIndex<T> for LshIndex<T> {
 
     fn name(&self) -> String {
         "FALCONN-LSH".into()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Lsh
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            points: self.points.len(),
+            dim: self.points.dim(),
+            edges: 0,
+            max_degree: self.num_bits,
+            layers: self.tables.len(),
+            build: self.build_stats,
+        }
     }
 }
 

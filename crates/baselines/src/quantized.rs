@@ -20,7 +20,8 @@ use crate::pq::{PqParams, ProductQuantizer};
 use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 use parlayann::beam::GraphView;
 use parlayann::{
-    AnnIndex, BuildStats, FlatGraph, QueryParams, SearchStats, VamanaIndex, VamanaParams,
+    AnnIndex, BuildStats, FlatGraph, IndexKind, IndexStats, QueryParams, SearchStats, VamanaIndex,
+    VamanaParams,
 };
 use rayon::prelude::*;
 
@@ -188,6 +189,14 @@ impl<T: VectorElem> AnnIndex<T> for PqVamanaIndex<T> {
 
     fn name(&self) -> String {
         format!("PQ{}-DiskANN", self.code_len())
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::PqVamana
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
     }
 }
 

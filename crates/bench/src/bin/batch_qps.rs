@@ -1,0 +1,168 @@
+//! `batch_qps` — single-query vs query-blocked search throughput.
+//!
+//! Builds a Vamana index, runs the same query set two ways — independent
+//! per-query searches (the pre-engine path, still the `AnnIndex`
+//! default) and the query-blocked engine at several block sizes — checks
+//! every configuration returns **bit-identical** results, prints a QPS
+//! table, and appends a machine-readable record to `BENCH_batch.json` so
+//! the perf trajectory accumulates across PRs.
+//!
+//! ```text
+//! cargo run --release -p parlayann_bench --bin batch_qps [n] [out.json]
+//! ```
+//!
+//! Defaults: `n` = 10 000 points (or `PARLAYANN_SCALE`), output
+//! `BENCH_batch.json` in the current directory. The result fingerprint is
+//! thread-count-independent, so CI diffs it across `PARLAY_NUM_THREADS`
+//! settings.
+
+use ann_data::bigann_like;
+use parlayann::{QueryEngine, QueryParams, SearchStats, Starts, VamanaIndex, VamanaParams};
+use std::time::Instant;
+
+/// Order-sensitive digest over every query's `(id, dist-bits)` sequence.
+fn fingerprint(results: &[(Vec<(u32, f32)>, SearchStats)]) -> u64 {
+    results.iter().fold(0x9e3779b97f4a7c15, |acc, (res, _)| {
+        res.iter().fold(acc, |acc, &(id, d)| {
+            parlay::hash64_pair(parlay::hash64_pair(acc, id as u64), d.to_bits() as u64)
+        })
+    })
+}
+
+/// Best-of-`reps` wall-clock seconds for `f` (warm-cache QPS practice).
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("PARLAYANN_SCALE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(10_000);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let threads = parlay::num_threads();
+    let num_queries = 200.min(n / 2).max(10);
+
+    println!("batch_qps: Vamana search, n = {n}, {num_queries} queries, {threads} worker threads");
+    let data = bigann_like(n, num_queries, 42);
+    let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+    let params = QueryParams {
+        beam: 64,
+        ..QueryParams::default()
+    };
+    let queries = &data.queries;
+    let nq = queries.len() as f64;
+
+    // Reference: independent per-query searches, batch-parallel (the
+    // AnnIndex default implementation).
+    let single: Vec<(Vec<(u32, f32)>, SearchStats)> =
+        parlay::tabulate(queries.len(), |q| index.search(queries.point(q), &params));
+    let fp = fingerprint(&single);
+    let secs_single = best_secs(3, || {
+        let r: Vec<(Vec<(u32, f32)>, SearchStats)> =
+            parlay::tabulate(queries.len(), |q| index.search(queries.point(q), &params));
+        assert_eq!(fingerprint(&r), fp);
+    });
+    let qps_single = nq / secs_single;
+
+    // Query-blocked engine at several block sizes; every configuration
+    // must reproduce the single-query results bit for bit.
+    let block_sizes = [1usize, 4, 8, 16, 32, 64];
+    println!("\n  configuration      QPS      vs single");
+    println!("  single-query    {qps_single:>8.0}       1.00x");
+    let mut block_qps = Vec::new();
+    let mut identical = true;
+    for &bs in &block_sizes {
+        let engine: QueryEngine<u8> = QueryEngine::with_block_size(bs);
+        let run = || {
+            engine.search_batch(
+                queries,
+                index.points(),
+                index.metric,
+                &index.graph,
+                Starts::Shared(std::slice::from_ref(&index.start)),
+                &params,
+            )
+        };
+        let batched = run();
+        let ok = fingerprint(&batched) == fp
+            && batched
+                .iter()
+                .zip(&single)
+                .all(|((ra, sa), (rb, sb))| ra == rb && sa == sb);
+        identical &= ok;
+        let secs = best_secs(3, || {
+            let r = run();
+            assert_eq!(fingerprint(&r), fp);
+        });
+        let qps = nq / secs;
+        block_qps.push((bs, qps));
+        println!(
+            "  blocked (Q={bs:<3})  {qps:>8.0}       {:>4.2}x{}",
+            qps / qps_single,
+            if ok { "" } else { "   RESULTS DIVERGED" }
+        );
+    }
+    println!(
+        "\n  results: {} (fingerprint 0x{fp:016x})",
+        if identical {
+            "bit-identical across all configurations"
+        } else {
+            "MISMATCH — blocked search diverged from single-query"
+        }
+    );
+
+    // Append one JSON record (hand-rolled; the workspace has no serde).
+    let record = format!(
+        concat!(
+            "{{\"bench\":\"batch_qps\",\"algo\":\"vamana\",\"n\":{},\"queries\":{},",
+            "\"threads\":{},\"beam\":{},\"qps_single\":{:.1},",
+            "\"block_sizes\":[{}],\"qps_blocked\":[{}],",
+            "\"fingerprint\":\"0x{:016x}\",\"identical\":{}}}\n"
+        ),
+        n,
+        queries.len(),
+        threads,
+        params.beam,
+        qps_single,
+        block_sizes
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        block_qps
+            .iter()
+            .map(|&(_, q)| format!("{q:.1}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        fp,
+        identical
+    );
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()))
+        .expect("failed to write bench record");
+    println!("  appended record to {out_path}");
+    println!("FINGERPRINT 0x{fp:016x}");
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -138,6 +138,7 @@ pub fn visited_and_cut(scale: usize) {
                 cut,
                 limit: usize::MAX,
                 visited,
+                ..QueryParams::default()
             };
             // Best of 3 timed runs.
             let mut best = f64::INFINITY;

@@ -11,7 +11,10 @@ use crate::harness::{fmt, print_table, sweep, write_csv, SweepPoint};
 use crate::workloads::{self, Workload, GT_K};
 use ann_data::VectorElem;
 
-fn run_dataset<T: VectorElem>(label: &str, w: &Workload<T>) -> Vec<Vec<String>> {
+fn run_dataset<T: VectorElem + ann_data::io::BinaryElem>(
+    label: &str,
+    w: &Workload<T>,
+) -> Vec<Vec<String>> {
     let n = w.data.points.len();
     let mut rows = Vec::new();
     let mut indexes = super::build_graphs(w, false);

@@ -99,7 +99,14 @@ pub struct Built<T> {
 
 /// Builds the three billion-scale-capable graph indexes (the paper's
 /// Fig. 3 set) plus optionally PyNNDescent (Fig. 4 set).
-pub fn build_graphs<T: VectorElem>(w: &Workload<T>, include_pynn: bool) -> Vec<Built<T>> {
+///
+/// (`BinaryElem` because the graph indexes implement `AnnIndex` — with
+/// its persistence hook — only for binary-serializable element types;
+/// every element type in the workspace is one.)
+pub fn build_graphs<T: VectorElem + ann_data::io::BinaryElem>(
+    w: &Workload<T>,
+    include_pynn: bool,
+) -> Vec<Built<T>> {
     let n = w.data.points.len();
     let metric = w.data.metric;
     let mut out: Vec<Built<T>> = Vec::new();

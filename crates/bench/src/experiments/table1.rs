@@ -16,7 +16,9 @@ pub fn run(scale: usize) {
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     // Build per dataset; generic helper keeps the element types straight.
-    fn column<T: ann_data::VectorElem>(w: &workloads::Workload<T>) -> Vec<f64> {
+    fn column<T: ann_data::VectorElem + ann_data::io::BinaryElem>(
+        w: &workloads::Workload<T>,
+    ) -> Vec<f64> {
         let n = w.data.points.len();
         let mut times: Vec<f64> = super::build_graphs(w, true)
             .into_iter()

@@ -26,22 +26,22 @@ pub struct SweepPoint {
     pub dist_comps: f64,
 }
 
-/// Runs all queries in parallel, returning per-query results and summed stats.
+/// Runs all queries through the index's batched path ([`AnnIndex::search_batch`]
+/// — the query-blocked engine for the graph indexes), returning per-query
+/// result ids and deterministically aggregated stats. Every figure
+/// experiment measures through here, so the whole evaluation exercises the
+/// unified query layer.
 pub fn tabulate_queries<T: VectorElem, I: AnnIndex<T> + ?Sized>(
     index: &I,
     queries: &PointSet<T>,
     params: &QueryParams,
 ) -> (Vec<Vec<u32>>, SearchStats) {
-    let per_query: Vec<(Vec<u32>, SearchStats)> = parlay::tabulate(queries.len(), |q| {
-        let (res, stats) = index.search(queries.point(q), params);
-        (res.into_iter().map(|(id, _)| id).collect(), stats)
-    });
-    let mut total = SearchStats::default();
-    let mut ids = Vec::with_capacity(per_query.len());
-    for (r, s) in per_query {
-        total.merge(&s);
-        ids.push(r);
-    }
+    let per_query = index.search_batch(queries, params);
+    let total = parlayann::aggregate_stats(&per_query);
+    let ids = per_query
+        .into_iter()
+        .map(|(r, _)| r.into_iter().map(|(id, _)| id).collect())
+        .collect();
     (ids, total)
 }
 
@@ -66,6 +66,7 @@ pub fn sweep<T: VectorElem, I: AnnIndex<T> + ?Sized>(
                 cut,
                 limit: usize::MAX,
                 visited: VisitedMode::Approx,
+                ..QueryParams::default()
             };
             let mut best_secs = f64::INFINITY;
             let mut kept: Option<(Vec<Vec<u32>>, SearchStats)> = None;

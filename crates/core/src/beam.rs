@@ -15,7 +15,7 @@
 //! query, so search results are deterministic.
 
 use crate::graph::FlatGraph;
-use crate::stats::SearchStats;
+use crate::stats::{SearchStats, StatsMode};
 use crate::visited::VisitedFilter;
 use ann_data::{distance_batch, Metric, PointSet, VectorElem};
 
@@ -44,6 +44,9 @@ pub struct QueryParams {
     pub limit: usize,
     /// Visited-set implementation.
     pub visited: VisitedMode,
+    /// Whether to collect per-query counters (see [`StatsMode`]); results
+    /// are unaffected, only the returned [`SearchStats`] is.
+    pub stats: StatsMode,
 }
 
 impl Default for QueryParams {
@@ -54,6 +57,7 @@ impl Default for QueryParams {
             cut: 1.25,
             limit: usize::MAX,
             visited: VisitedMode::Approx,
+            stats: StatsMode::Counters,
         }
     }
 }
@@ -90,9 +94,64 @@ impl GraphView for FlatGraph {
     }
 }
 
+/// Ordering used throughout the query layer: by distance, ties by id.
 #[inline]
-fn cmp_dist(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+pub(crate) fn cmp_dist(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
     a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
+
+/// Reusable per-search working state: the frontier, candidate pool,
+/// visited filter, and padded query buffer a beam search needs.
+///
+/// Allocating these per query dominates the fixed cost of small searches,
+/// so the [query engine](crate::query::QueryEngine) keeps scratches in a
+/// pool and reuses one across every query a worker processes. A fresh
+/// scratch and a reused one produce bit-identical results: every buffer is
+/// cleared (and the filter [reset](VisitedFilter::reset)) at the start of
+/// [`beam_search_into`].
+pub struct SearchScratch<T> {
+    padded_query: Vec<T>,
+    cand_ids: Vec<u32>,
+    cand_dists: Vec<f32>,
+    frontier: Vec<(u32, f32)>,
+    visited: Vec<(u32, f32)>,
+    unvisited: Vec<(u32, f32)>,
+    candidates: Vec<(u32, f32)>,
+    merge_buf: Vec<(u32, f32)>,
+    filter: VisitedFilter,
+}
+
+impl<T: VectorElem> SearchScratch<T> {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        SearchScratch {
+            padded_query: Vec::new(),
+            cand_ids: Vec::with_capacity(64),
+            cand_dists: Vec::with_capacity(64),
+            frontier: Vec::new(),
+            visited: Vec::new(),
+            unvisited: Vec::new(),
+            candidates: Vec::with_capacity(64),
+            merge_buf: Vec::new(),
+            filter: VisitedFilter::new(true, 64),
+        }
+    }
+
+    /// The final frontier of the last search (closest first).
+    pub fn frontier(&self) -> &[(u32, f32)] {
+        &self.frontier
+    }
+
+    /// The expanded vertices of the last search, sorted by `(dist, id)`.
+    pub fn visited(&self) -> &[(u32, f32)] {
+        &self.visited
+    }
+}
+
+impl<T: VectorElem> Default for SearchScratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Greedy beam search for `query` over `view`, starting from `starts`.
@@ -104,104 +163,175 @@ pub fn beam_search<T: VectorElem, G: GraphView>(
     starts: &[u32],
     params: &QueryParams,
 ) -> BeamResult {
+    let mut scratch = SearchScratch::new();
+    let stats = beam_search_into(&mut scratch, query, points, metric, view, starts, params);
+    BeamResult {
+        beam: std::mem::take(&mut scratch.frontier),
+        visited: std::mem::take(&mut scratch.visited),
+        stats,
+    }
+}
+
+/// [`beam_search`] over caller-owned scratch: results are left in
+/// [`SearchScratch::frontier`] / [`SearchScratch::visited`] and only the
+/// stats are returned, so a reused scratch performs no per-query
+/// allocation once its buffers have grown to steady state.
+pub fn beam_search_into<T: VectorElem, G: GraphView>(
+    scratch: &mut SearchScratch<T>,
+    query: &[T],
+    points: &PointSet<T>,
+    metric: Metric,
+    view: &G,
+    starts: &[u32],
+    params: &QueryParams,
+) -> SearchStats {
     let mut stats = SearchStats::default();
-    let mut filter = VisitedFilter::new(params.visited == VisitedMode::Approx, params.beam);
+    let track = params.stats.enabled();
+    scratch
+        .filter
+        .reset(params.visited == VisitedMode::Approx, params.beam);
 
     // Pad the query once so every batched distance evaluation takes the
     // kernels' aligned full-block path (bit-identical to the logical path;
-    // see `ann_data::simd`).
-    let padded_query = points.pad_query(query);
-    let mut cand_ids: Vec<u32> = Vec::with_capacity(64);
-    let mut cand_dists: Vec<f32> = Vec::with_capacity(64);
+    // see `ann_data::simd`). The dimension check `pad_query` used to do
+    // stays: zero-filling a wrong-length query would otherwise return
+    // silently wrong neighbors.
+    assert_eq!(query.len(), points.dim(), "query dimensionality mismatch");
+    scratch.padded_query.clear();
+    scratch.padded_query.extend_from_slice(query);
+    scratch
+        .padded_query
+        .resize(points.padded_dim(), T::from_f32(0.0));
 
     // Seed the frontier with the start points, scored in one batch.
-    cand_ids.extend(
+    scratch.cand_ids.clear();
+    scratch.cand_ids.extend(
         starts
             .iter()
             .copied()
-            .filter(|&s| !filter.test_and_insert(s)),
+            .filter(|&s| !scratch.filter.test_and_insert(s)),
     );
-    distance_batch(&padded_query, &cand_ids, points, metric, &mut cand_dists);
-    stats.dist_comps += cand_ids.len();
-    let mut frontier: Vec<(u32, f32)> = cand_ids
-        .iter()
-        .copied()
-        .zip(cand_dists.iter().copied())
-        .collect();
-    frontier.sort_by(cmp_dist);
-    frontier.truncate(params.beam);
+    distance_batch(
+        &scratch.padded_query,
+        &scratch.cand_ids,
+        points,
+        metric,
+        &mut scratch.cand_dists,
+    );
+    if track {
+        stats.dist_comps += scratch.cand_ids.len();
+    }
+    scratch.frontier.clear();
+    scratch.frontier.extend(
+        scratch
+            .cand_ids
+            .iter()
+            .copied()
+            .zip(scratch.cand_dists.iter().copied()),
+    );
+    scratch.frontier.sort_by(cmp_dist);
+    scratch.frontier.truncate(params.beam);
 
-    let mut visited: Vec<(u32, f32)> = Vec::new();
-    let mut unvisited: Vec<(u32, f32)> = frontier.clone();
-    let mut candidates: Vec<(u32, f32)> = Vec::with_capacity(64);
+    scratch.visited.clear();
+    scratch.unvisited.clear();
+    scratch.unvisited.extend_from_slice(&scratch.frontier);
 
-    while let Some(&current) = unvisited.first() {
-        if visited.len() >= params.limit {
+    while let Some(&current) = scratch.unvisited.first() {
+        if scratch.visited.len() >= params.limit {
             break;
         }
         // Move `current` from the unvisited frontier into the visited list.
-        let pos = visited
+        let pos = scratch
+            .visited
             .binary_search_by(|x| cmp_dist(x, &current))
             .unwrap_or_else(|e| e);
-        visited.insert(pos, current);
-        stats.hops += 1;
+        scratch.visited.insert(pos, current);
+        if track {
+            stats.hops += 1;
+        }
 
-        // Admission thresholds: the beam's worst member, and the (1+ε) cut
-        // around the current k-th nearest candidate.
-        let worst = if frontier.len() == params.beam {
-            frontier.last().expect("nonempty").1
-        } else {
-            f32::INFINITY
-        };
-        let kth = if frontier.len() >= params.k {
-            frontier[params.k - 1].1
-        } else {
-            f32::INFINITY
-        };
-        let cut_bound = if params.cut > 1.0 && kth.is_finite() && kth > 0.0 {
-            params.cut * kth
-        } else {
-            f32::INFINITY
-        };
+        let (worst, cut_bound) = admission_bounds(&scratch.frontier, params);
 
         // Score the whole unvisited out-neighborhood in one batched call:
         // one kernel invocation per neighbor, with the next candidates'
         // rows prefetched while the current one is scored (paper §4.5's
         // memory-layout observation, applied to the hot loop).
-        cand_ids.clear();
+        scratch.cand_ids.clear();
         for &w in view.out_neighbors(current.0) {
-            if !filter.test_and_insert(w) {
-                cand_ids.push(w);
+            if !scratch.filter.test_and_insert(w) {
+                scratch.cand_ids.push(w);
             }
         }
-        distance_batch(&padded_query, &cand_ids, points, metric, &mut cand_dists);
-        stats.dist_comps += cand_ids.len();
-        candidates.clear();
-        for (&w, &d) in cand_ids.iter().zip(cand_dists.iter()) {
+        distance_batch(
+            &scratch.padded_query,
+            &scratch.cand_ids,
+            points,
+            metric,
+            &mut scratch.cand_dists,
+        );
+        if track {
+            stats.dist_comps += scratch.cand_ids.len();
+        }
+        scratch.candidates.clear();
+        for (&w, &d) in scratch.cand_ids.iter().zip(scratch.cand_dists.iter()) {
             if d >= worst || d > cut_bound {
                 continue;
             }
-            candidates.push((w, d));
+            scratch.candidates.push((w, d));
         }
-        candidates.sort_by(cmp_dist);
+        scratch.candidates.sort_by(cmp_dist);
 
         // Merge candidates into the frontier (both sorted), dedup, truncate.
-        frontier = merge_dedup(&frontier, &candidates, params.beam);
+        merge_dedup_into(
+            &scratch.frontier,
+            &scratch.candidates,
+            params.beam,
+            &mut scratch.merge_buf,
+        );
+        std::mem::swap(&mut scratch.frontier, &mut scratch.merge_buf);
         // Unvisited = frontier \ visited (both sorted by (dist, id)).
-        unvisited = sorted_difference(&frontier, &visited);
+        sorted_difference_into(&scratch.frontier, &scratch.visited, &mut scratch.merge_buf);
+        std::mem::swap(&mut scratch.unvisited, &mut scratch.merge_buf);
     }
 
-    BeamResult {
-        beam: frontier,
-        visited,
-        stats,
-    }
+    stats
+}
+
+/// Admission thresholds for one expansion: the beam's worst member, and
+/// the (1+ε) cut around the current k-th nearest candidate. Shared between
+/// the single-query loop above and the query-blocked engine so the two
+/// paths cannot drift.
+#[inline]
+pub(crate) fn admission_bounds(frontier: &[(u32, f32)], params: &QueryParams) -> (f32, f32) {
+    let worst = if frontier.len() == params.beam {
+        frontier.last().expect("nonempty").1
+    } else {
+        f32::INFINITY
+    };
+    let kth = if frontier.len() >= params.k {
+        frontier[params.k - 1].1
+    } else {
+        f32::INFINITY
+    };
+    let cut_bound = if params.cut > 1.0 && kth.is_finite() && kth > 0.0 {
+        params.cut * kth
+    } else {
+        f32::INFINITY
+    };
+    (worst, cut_bound)
 }
 
 /// Merges two `(dist, id)`-sorted lists, removing duplicate ids (equal ids
 /// carry equal distances, so duplicates are adjacent), keeping `cap` items.
-fn merge_dedup(a: &[(u32, f32)], b: &[(u32, f32)], cap: usize) -> Vec<(u32, f32)> {
-    let mut out = Vec::with_capacity((a.len() + b.len()).min(cap));
+/// `out` is cleared first (scratch-reuse path).
+pub(crate) fn merge_dedup_into(
+    a: &[(u32, f32)],
+    b: &[(u32, f32)],
+    cap: usize,
+    out: &mut Vec<(u32, f32)>,
+) {
+    out.clear();
+    out.reserve((a.len() + b.len()).min(cap));
     let (mut i, mut j) = (0, 0);
     while out.len() < cap && (i < a.len() || j < b.len()) {
         let take_a = match (a.get(i), b.get(j)) {
@@ -221,12 +351,16 @@ fn merge_dedup(a: &[(u32, f32)], b: &[(u32, f32)], cap: usize) -> Vec<(u32, f32)
             out.push(item);
         }
     }
-    out
 }
 
-/// `a \ b` for `(dist, id)`-sorted lists.
-fn sorted_difference(a: &[(u32, f32)], b: &[(u32, f32)]) -> Vec<(u32, f32)> {
-    let mut out = Vec::with_capacity(a.len());
+/// `a \ b` for `(dist, id)`-sorted lists; `out` is cleared first.
+pub(crate) fn sorted_difference_into(
+    a: &[(u32, f32)],
+    b: &[(u32, f32)],
+    out: &mut Vec<(u32, f32)>,
+) {
+    out.clear();
+    out.reserve(a.len());
     let mut j = 0;
     for &x in a {
         while j < b.len() && cmp_dist(&b[j], &x) == std::cmp::Ordering::Less {
@@ -236,6 +370,19 @@ fn sorted_difference(a: &[(u32, f32)], b: &[(u32, f32)]) -> Vec<(u32, f32)> {
             out.push(x);
         }
     }
+}
+
+#[cfg(test)]
+fn merge_dedup(a: &[(u32, f32)], b: &[(u32, f32)], cap: usize) -> Vec<(u32, f32)> {
+    let mut out = Vec::new();
+    merge_dedup_into(a, b, cap, &mut out);
+    out
+}
+
+#[cfg(test)]
+fn sorted_difference(a: &[(u32, f32)], b: &[(u32, f32)]) -> Vec<(u32, f32)> {
+    let mut out = Vec::new();
+    sorted_difference_into(a, b, &mut out);
     out
 }
 

@@ -13,8 +13,11 @@ use crate::builder::{incremental_build, insertion_order, refine_pass, AlphaPrune
 // (refine_pass also powers the dynamic-insert path)
 use crate::graph::FlatGraph;
 use crate::medoid::medoid;
+use crate::query::{IndexKind, IndexStats, Starts};
+use crate::range::RangeParams;
 use crate::stats::{BuildStats, SearchStats};
 use crate::AnnIndex;
+use ann_data::io::BinaryElem;
 use ann_data::{Metric, PointSet, VectorElem};
 
 /// Build parameters for [`VamanaIndex`] (paper Fig. 7 row "DiskANN").
@@ -204,13 +207,48 @@ impl<T: VectorElem> VamanaIndex<T> {
     }
 }
 
-impl<T: VectorElem> AnnIndex<T> for VamanaIndex<T> {
+impl<T: VectorElem + BinaryElem> AnnIndex<T> for VamanaIndex<T> {
     fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
         VamanaIndex::search(self, query, params)
     }
 
     fn name(&self) -> String {
         "ParlayDiskANN".into()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Vamana
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
+    }
+
+    /// Query-blocked batched search over the graph (bit-identical to
+    /// per-query [`VamanaIndex::search`]).
+    fn search_batch_blocked(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        block_size: usize,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        crate::query::search_batch_graph(
+            queries,
+            &self.points,
+            self.metric,
+            &self.graph,
+            Starts::Shared(std::slice::from_ref(&self.start)),
+            params,
+            block_size,
+        )
+    }
+
+    fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+        VamanaIndex::range_search(self, query, params)
+    }
+
+    fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.save(path)
     }
 }
 

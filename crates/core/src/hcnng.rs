@@ -17,8 +17,11 @@ use crate::cluster::random_cluster_leaves;
 use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::medoid::medoid;
 use crate::prune::robust_prune;
+use crate::query::{IndexKind, IndexStats, Starts};
+use crate::range::RangeParams;
 use crate::stats::{BuildStats, SearchStats};
 use crate::AnnIndex;
+use ann_data::io::BinaryElem;
 use ann_data::{distance, Metric, PointSet, VectorElem};
 use parlay::{group_by_u32, Random};
 use rayon::prelude::*;
@@ -311,15 +314,83 @@ impl<T: VectorElem> HcnngIndex<T> {
     pub fn points(&self) -> &PointSet<T> {
         &self.points
     }
+
+    /// Reassembles an index from its parts (deserialization). The caller
+    /// is responsible for consistency between `graph` and `points`.
+    pub fn from_parts(
+        graph: FlatGraph,
+        start: u32,
+        metric: Metric,
+        build_stats: BuildStats,
+        points: PointSet<T>,
+    ) -> Self {
+        assert_eq!(graph.len(), points.len(), "graph/point count mismatch");
+        assert!((start as usize) < points.len(), "start out of range");
+        HcnngIndex {
+            graph,
+            start,
+            metric,
+            build_stats,
+            points,
+        }
+    }
 }
 
-impl<T: VectorElem> AnnIndex<T> for HcnngIndex<T> {
+impl<T: VectorElem + BinaryElem> AnnIndex<T> for HcnngIndex<T> {
     fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
         HcnngIndex::search(self, query, params)
     }
 
     fn name(&self) -> String {
         "ParlayHCNNG".into()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hcnng
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
+    }
+
+    /// Query-blocked batched search over the union-of-MSTs graph.
+    fn search_batch_blocked(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        block_size: usize,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        crate::query::search_batch_graph(
+            queries,
+            &self.points,
+            self.metric,
+            &self.graph,
+            Starts::Shared(std::slice::from_ref(&self.start)),
+            params,
+            block_size,
+        )
+    }
+
+    fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+        crate::range::range_search(
+            query,
+            &self.points,
+            self.metric,
+            &self.graph,
+            &[self.start],
+            params,
+        )
+    }
+
+    fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::io::save_flat_index(
+            path,
+            IndexKind::Hcnng,
+            self.metric,
+            &[self.start],
+            &self.graph,
+            &self.points,
+        )
     }
 }
 

@@ -17,6 +17,8 @@ use crate::beam::{beam_search, GraphView, QueryParams, VisitedMode};
 use crate::builder::insertion_order;
 use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::prune::heuristic_prune;
+use crate::query::{IndexKind, IndexStats, Starts};
+use crate::range::RangeParams;
 use crate::stats::{BuildStats, SearchStats};
 use crate::AnnIndex;
 use ann_data::{Metric, PointSet, VectorElem};
@@ -172,13 +174,21 @@ impl<T: VectorElem> HnswIndex<T> {
 
     /// Width-1 greedy descent within one layer (the inter-layer hops of the
     /// classic HNSW search).
-    fn greedy1(&self, query: &[T], layer: usize, from: u32, dc: &mut usize) -> u32 {
+    fn greedy1(
+        &self,
+        query: &[T],
+        layer: usize,
+        from: u32,
+        mode: crate::stats::StatsMode,
+        dc: &mut usize,
+    ) -> u32 {
         let qp = QueryParams {
             k: 1,
             beam: 1,
             cut: 1.0,
             limit: usize::MAX,
             visited: VisitedMode::Approx,
+            stats: mode,
         };
         let res = beam_search(
             query,
@@ -207,7 +217,7 @@ impl<T: VectorElem> HnswIndex<T> {
             let mut cur = self.entry;
             // Descend through layers above p's level with beam 1.
             for l in ((lp + 1)..=top).rev() {
-                cur = self.greedy1(q, l, cur, &mut dc);
+                cur = self.greedy1(q, l, cur, crate::stats::StatsMode::Counters, &mut dc);
             }
             // Insert into layers lp..0 with the construction beam.
             let mut outs: Vec<(usize, Vec<u32>)> = Vec::with_capacity(lp + 1);
@@ -218,6 +228,7 @@ impl<T: VectorElem> HnswIndex<T> {
                     cut: 1.25,
                     limit: usize::MAX,
                     visited: VisitedMode::Approx,
+                    stats: crate::stats::StatsMode::Counters,
                 };
                 let res = beam_search(
                     q,
@@ -335,12 +346,7 @@ impl<T: VectorElem> HnswIndex<T> {
     /// Searches: beam-1 descent from the top layer, then a beam search at
     /// the bottom layer.
     pub fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
-        let top = self.levels[self.entry as usize] as usize;
-        let mut dc = 0usize;
-        let mut cur = self.entry;
-        for l in (1..=top).rev() {
-            cur = self.greedy1(query, l, cur, &mut dc);
-        }
+        let (cur, dc) = self.descend(query, params.stats);
         let res = beam_search(
             query,
             &self.points,
@@ -379,6 +385,20 @@ impl<T: VectorElem> HnswIndex<T> {
     }
 }
 
+impl<T: VectorElem> HnswIndex<T> {
+    /// Width-1 descent from the top layer down to (but excluding) layer 0,
+    /// returning the bottom-layer entry vertex and descent distance comps.
+    fn descend(&self, query: &[T], mode: crate::stats::StatsMode) -> (u32, usize) {
+        let top = self.levels[self.entry as usize] as usize;
+        let mut dc = 0usize;
+        let mut cur = self.entry;
+        for l in (1..=top).rev() {
+            cur = self.greedy1(query, l, cur, mode, &mut dc);
+        }
+        (cur, dc)
+    }
+}
+
 impl<T: VectorElem> AnnIndex<T> for HnswIndex<T> {
     fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
         HnswIndex::search(self, query, params)
@@ -386,6 +406,66 @@ impl<T: VectorElem> AnnIndex<T> for HnswIndex<T> {
 
     fn name(&self) -> String {
         "ParlayHNSW".into()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hnsw
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut stats =
+            IndexStats::for_graph(&self.layers[0].graph, self.points.dim(), self.build_stats);
+        stats.layers = self.layers.len();
+        for layer in &self.layers[1..] {
+            stats.edges += (0..layer.members.len() as u32)
+                .map(|v| layer.graph.degree(v))
+                .sum::<usize>();
+        }
+        stats
+    }
+
+    /// Batched search: the cheap upper-layer descents run per query (the
+    /// express lanes are tiny), then the bottom layer — where all the work
+    /// is — runs query-blocked with each query's own entry vertex.
+    fn search_batch_blocked(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        block_size: usize,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        let descents: Vec<(u32, usize)> = parlay::tabulate(queries.len(), |q| {
+            self.descend(queries.point(q), params.stats)
+        });
+        let starts: Vec<Vec<u32>> = descents.iter().map(|&(cur, _)| vec![cur]).collect();
+        let mut out = crate::query::search_batch_graph(
+            queries,
+            &self.points,
+            self.metric,
+            &LayerView(&self.layers[0]),
+            Starts::PerQuery(&starts),
+            params,
+            block_size,
+        );
+        for (res, &(_, dc)) in out.iter_mut().zip(&descents) {
+            res.1.dist_comps += dc;
+        }
+        out
+    }
+
+    /// Range search: descend to the bottom layer, then flood it (see
+    /// [`crate::range`]).
+    fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+        let (cur, dc) = self.descend(query, crate::stats::StatsMode::Counters);
+        let (res, mut stats) = crate::range::range_search(
+            query,
+            &self.points,
+            self.metric,
+            &LayerView(&self.layers[0]),
+            &[cur],
+            params,
+        );
+        stats.dist_comps += dc;
+        (res, stats)
     }
 }
 

@@ -6,12 +6,28 @@
 //! one of the paper's motivations ("persistence, crash recovery, or
 //! replication ... for vector databases", §1).
 //!
-//! Format (little-endian, version-tagged):
-//! `magic "PANN" | version u32 | metric u8 | dim u64 | n u64 | start u32 |
-//!  max_degree u64 | counts[n] u32 | edges[n*R] u32 | elem-tag u8 | points`.
+//! ## Format
+//!
+//! Version 2 (current) is kind-tagged so one loader serves every
+//! flat-graph index family (the [`AnnIndex::save_index`] /
+//! [`load_index`] hooks):
+//!
+//! ```text
+//! magic "PANN" | version=2 u32 | kind u8 | metric u8 | dim u64 | n u64 |
+//! nstarts u32 | starts[nstarts] u32 | counts[n] u32 | edges u32… |
+//! elem-tag u8 | points
+//! ```
+//!
+//! Version 1 files (no kind tag, exactly one start vertex) predate the
+//! unified query layer; they still load, as Vamana. An unknown version or
+//! kind tag is an [`io::ErrorKind::InvalidData`] error, never a
+//! misinterpretation.
 
 use crate::diskann::VamanaIndex;
 use crate::graph::FlatGraph;
+use crate::hcnng::HcnngIndex;
+use crate::pynndescent::PyNNDescentIndex;
+use crate::query::{AnnIndex, IndexKind};
 use crate::stats::BuildStats;
 use ann_data::io::BinaryElem;
 use ann_data::{Metric, PointSet};
@@ -20,7 +36,8 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"PANN";
-const VERSION: u32 = 1;
+/// Current file-format version.
+pub const VERSION: u32 = 2;
 
 fn metric_tag(m: Metric) -> u8 {
     match m {
@@ -63,6 +80,28 @@ fn read_u32s(r: &mut impl Read, n: usize) -> io::Result<Vec<u32>> {
         .collect())
 }
 
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Writes a graph's adjacency (used standalone and by index save).
 pub fn write_graph(w: &mut impl Write, graph: &FlatGraph) -> io::Result<()> {
     w.write_all(&(graph.len() as u64).to_le_bytes())?;
@@ -79,99 +118,262 @@ pub fn write_graph(w: &mut impl Write, graph: &FlatGraph) -> io::Result<()> {
 
 /// Reads a graph written by [`write_graph`].
 pub fn read_graph(r: &mut impl Read) -> io::Result<FlatGraph> {
-    let mut h = [0u8; 8];
-    r.read_exact(&mut h)?;
-    let n = u64::from_le_bytes(h) as usize;
-    r.read_exact(&mut h)?;
-    let max_degree = u64::from_le_bytes(h) as usize;
+    let n = read_u64(r)? as usize;
+    let max_degree = read_u64(r)? as usize;
     let counts = read_u32s(r, n)?;
     let mut graph = FlatGraph::new(n, max_degree);
     for (v, &c) in counts.iter().enumerate() {
+        if c as usize > max_degree {
+            return Err(invalid(format!(
+                "vertex {v} degree {c} exceeds bound {max_degree}"
+            )));
+        }
         let row = read_u32s(r, c as usize)?;
         graph.set_neighbors(v as u32, &row);
     }
     Ok(graph)
 }
 
+fn write_points<T: BinaryElem>(w: &mut impl Write, points: &PointSet<T>) -> io::Result<()> {
+    w.write_all(&[T::WIDTH as u8])?;
+    let mut buf = vec![0u8; T::WIDTH];
+    for i in 0..points.len() {
+        for &x in points.point(i) {
+            x.encode(&mut buf);
+            w.write_all(&buf)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_points<T: BinaryElem>(r: &mut impl Read, n: usize, dim: usize) -> io::Result<PointSet<T>> {
+    let width = read_u8(r)?;
+    if width as usize != T::WIDTH {
+        return Err(invalid(format!(
+            "element width mismatch: file {} vs requested {}",
+            width,
+            T::WIDTH
+        )));
+    }
+    let mut raw = vec![0u8; n * dim * T::WIDTH];
+    r.read_exact(&mut raw)?;
+    let data: Vec<T> = raw.chunks_exact(T::WIDTH).map(T::decode).collect();
+    Ok(PointSet::new(data, dim))
+}
+
+/// Saves a single-level flat-graph index (graph + starts + vectors +
+/// metadata) in the v2 kind-tagged format. Backs
+/// [`AnnIndex::save_index`] for Vamana, HCNNG, and PyNNDescent.
+pub fn save_flat_index<T: BinaryElem>(
+    path: &Path,
+    kind: IndexKind,
+    metric: Metric,
+    starts: &[u32],
+    graph: &FlatGraph,
+    points: &PointSet<T>,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[kind.tag()])?;
+    w.write_all(&[metric_tag(metric)])?;
+    w.write_all(&(points.dim() as u64).to_le_bytes())?;
+    w.write_all(&(points.len() as u64).to_le_bytes())?;
+    w.write_all(&(starts.len() as u32).to_le_bytes())?;
+    write_u32s(&mut w, starts)?;
+    write_graph(&mut w, graph)?;
+    write_points(&mut w, points)?;
+    w.flush()
+}
+
+/// The decoded contents of an index file (either format version).
+pub struct FlatIndexParts<T> {
+    /// Index family recorded in the file (v1 files decode as Vamana).
+    pub kind: IndexKind,
+    /// Scoring metric.
+    pub metric: Metric,
+    /// Search entry points (v1: exactly one).
+    pub starts: Vec<u32>,
+    /// The proximity graph.
+    pub graph: FlatGraph,
+    /// The indexed vectors.
+    pub points: PointSet<T>,
+}
+
+/// Reads an index file written by [`save_flat_index`] (v2) or by the
+/// pre-kind-tag writer (v1 → Vamana). Unknown versions and kind tags are
+/// [`io::ErrorKind::InvalidData`] errors.
+pub fn read_flat_index<T: BinaryElem>(path: &Path) -> io::Result<FlatIndexParts<T>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(invalid("bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    let (kind, metric) = match version {
+        1 => (IndexKind::Vamana, metric_from_tag(read_u8(&mut r)?)?),
+        2 => {
+            let kind_tag = read_u8(&mut r)?;
+            let kind = IndexKind::from_tag(kind_tag)
+                .ok_or_else(|| invalid(format!("unknown index kind tag {kind_tag}")))?;
+            (kind, metric_from_tag(read_u8(&mut r)?)?)
+        }
+        other => {
+            return Err(invalid(format!(
+                "unsupported index file version {other} (this build reads 1..={VERSION})"
+            )))
+        }
+    };
+    let dim = read_u64(&mut r)? as usize;
+    let n = read_u64(&mut r)? as usize;
+    let starts = if version == 1 {
+        vec![read_u32(&mut r)?]
+    } else {
+        let nstarts = read_u32(&mut r)? as usize;
+        read_u32s(&mut r, nstarts)?
+    };
+    if starts.is_empty() {
+        return Err(invalid("index file declares no start vertices"));
+    }
+    if let Some(&bad) = starts.iter().find(|&&s| s as usize >= n) {
+        return Err(invalid(format!("start vertex {bad} out of range ({n})")));
+    }
+    let graph = read_graph(&mut r)?;
+    if graph.len() != n {
+        return Err(invalid("graph/point count mismatch"));
+    }
+    let points = read_points(&mut r, n, dim)?;
+    Ok(FlatIndexParts {
+        kind,
+        metric,
+        starts,
+        graph,
+        points,
+    })
+}
+
+fn expect_kind(parts: &FlatIndexParts<impl BinaryElem>, want: IndexKind) -> io::Result<()> {
+    if parts.kind != want {
+        return Err(invalid(format!(
+            "file holds a {} index, not {}",
+            parts.kind.name(),
+            want.name()
+        )));
+    }
+    Ok(())
+}
+
+fn single_start(parts: &FlatIndexParts<impl BinaryElem>) -> io::Result<u32> {
+    match parts.starts.as_slice() {
+        [s] => Ok(*s),
+        other => Err(invalid(format!(
+            "expected exactly one start vertex, file has {}",
+            other.len()
+        ))),
+    }
+}
+
 impl<T: BinaryElem> VamanaIndex<T> {
     /// Saves the index (graph + vectors + metadata) to `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
-        w.write_all(&[metric_tag(self.metric)])?;
-        let points = self.points();
-        w.write_all(&(points.dim() as u64).to_le_bytes())?;
-        w.write_all(&(points.len() as u64).to_le_bytes())?;
-        w.write_all(&self.start.to_le_bytes())?;
-        write_graph(&mut w, &self.graph)?;
-        w.write_all(&[T::WIDTH as u8])?;
-        let mut buf = vec![0u8; T::WIDTH];
-        for i in 0..points.len() {
-            for &x in points.point(i) {
-                x.encode(&mut buf);
-                w.write_all(&buf)?;
-            }
-        }
-        w.flush()
+        save_flat_index(
+            path,
+            IndexKind::Vamana,
+            self.metric,
+            &[self.start],
+            &self.graph,
+            self.points(),
+        )
     }
 
-    /// Loads an index written by [`Self::save`].
+    /// Loads an index written by [`Self::save`] (or a v1-format file).
     pub fn load(path: &Path) -> io::Result<Self> {
-        let mut r = BufReader::new(File::open(path)?);
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-        }
-        let mut v4 = [0u8; 4];
-        r.read_exact(&mut v4)?;
-        let version = u32::from_le_bytes(v4);
-        if version != VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported version {version}"),
-            ));
-        }
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let metric = metric_from_tag(tag[0])?;
-        let mut h = [0u8; 8];
-        r.read_exact(&mut h)?;
-        let dim = u64::from_le_bytes(h) as usize;
-        r.read_exact(&mut h)?;
-        let n = u64::from_le_bytes(h) as usize;
-        r.read_exact(&mut v4)?;
-        let start = u32::from_le_bytes(v4);
-        let graph = read_graph(&mut r)?;
-        if graph.len() != n {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "graph/point count mismatch",
-            ));
-        }
-        r.read_exact(&mut tag)?;
-        if tag[0] as usize != T::WIDTH {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "element width mismatch: file {} vs requested {}",
-                    tag[0],
-                    T::WIDTH
-                ),
-            ));
-        }
-        let mut raw = vec![0u8; n * dim * T::WIDTH];
-        r.read_exact(&mut raw)?;
-        let data: Vec<T> = raw.chunks_exact(T::WIDTH).map(T::decode).collect();
+        let parts = read_flat_index::<T>(path)?;
+        expect_kind(&parts, IndexKind::Vamana)?;
+        let start = single_start(&parts)?;
         Ok(VamanaIndex::from_parts(
-            graph,
+            parts.graph,
             start,
-            metric,
+            parts.metric,
             BuildStats::default(),
-            PointSet::new(data, dim),
+            parts.points,
         ))
     }
+}
+
+impl<T: BinaryElem> HcnngIndex<T> {
+    /// Loads an index written by [`AnnIndex::save_index`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let parts = read_flat_index::<T>(path)?;
+        expect_kind(&parts, IndexKind::Hcnng)?;
+        let start = single_start(&parts)?;
+        Ok(HcnngIndex::from_parts(
+            parts.graph,
+            start,
+            parts.metric,
+            BuildStats::default(),
+            parts.points,
+        ))
+    }
+}
+
+impl<T: BinaryElem> PyNNDescentIndex<T> {
+    /// Loads an index written by [`AnnIndex::save_index`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let parts = read_flat_index::<T>(path)?;
+        expect_kind(&parts, IndexKind::PyNNDescent)?;
+        Ok(PyNNDescentIndex::from_parts(
+            parts.graph,
+            parts.starts,
+            parts.metric,
+            BuildStats::default(),
+            parts.points,
+        ))
+    }
+}
+
+/// Loads any persisted index behind the uniform [`AnnIndex`] interface,
+/// dispatching on the file's kind tag — the load half of the trait's
+/// persistence hook. Kinds without a persistent form (HNSW, the
+/// baselines) cannot appear in well-formed files and are rejected.
+pub fn load_index<T: BinaryElem>(path: &Path) -> io::Result<Box<dyn AnnIndex<T>>> {
+    let parts = read_flat_index::<T>(path)?;
+    Ok(match parts.kind {
+        IndexKind::Vamana => {
+            let start = single_start(&parts)?;
+            Box::new(VamanaIndex::from_parts(
+                parts.graph,
+                start,
+                parts.metric,
+                BuildStats::default(),
+                parts.points,
+            ))
+        }
+        IndexKind::Hcnng => {
+            let start = single_start(&parts)?;
+            Box::new(HcnngIndex::from_parts(
+                parts.graph,
+                start,
+                parts.metric,
+                BuildStats::default(),
+                parts.points,
+            ))
+        }
+        IndexKind::PyNNDescent => Box::new(PyNNDescentIndex::from_parts(
+            parts.graph,
+            parts.starts,
+            parts.metric,
+            BuildStats::default(),
+            parts.points,
+        )),
+        other => {
+            return Err(invalid(format!(
+                "index kind {} has no persistent form",
+                other.name()
+            )))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -179,6 +381,8 @@ mod tests {
     use super::*;
     use crate::beam::QueryParams;
     use crate::diskann::VamanaParams;
+    use crate::hcnng::HcnngParams;
+    use crate::pynndescent::PyNNDescentParams;
     use ann_data::bigann_like;
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -219,6 +423,135 @@ mod tests {
                 loaded.search(data.queries.point(q), &qp).0
             );
         }
+    }
+
+    #[test]
+    fn v1_files_still_load_as_vamana() {
+        // Hand-write a v1 record (the pre-kind-tag layout) and check both
+        // the concrete loader and the dyn dispatcher decode it as Vamana.
+        let data = bigann_like(80, 1, 78);
+        let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+        let path = tmp("v1.pann");
+        {
+            let mut w = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            w.write_all(MAGIC).unwrap();
+            w.write_all(&1u32.to_le_bytes()).unwrap();
+            w.write_all(&[metric_tag(index.metric)]).unwrap();
+            w.write_all(&(index.points().dim() as u64).to_le_bytes())
+                .unwrap();
+            w.write_all(&(index.points().len() as u64).to_le_bytes())
+                .unwrap();
+            w.write_all(&index.start.to_le_bytes()).unwrap();
+            write_graph(&mut w, &index.graph).unwrap();
+            write_points(&mut w, index.points()).unwrap();
+            w.flush().unwrap();
+        }
+        let loaded = VamanaIndex::<u8>::load(&path).unwrap();
+        assert_eq!(loaded.graph.fingerprint(), index.graph.fingerprint());
+        let dyn_loaded = load_index::<u8>(&path).unwrap();
+        assert_eq!(dyn_loaded.kind(), IndexKind::Vamana);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kind_tagged_roundtrip_through_dyn_loader() {
+        use crate::query::AnnIndex;
+        let data = bigann_like(500, 5, 79);
+        let qp = QueryParams {
+            beam: 32,
+            ..QueryParams::default()
+        };
+
+        let hc = HcnngIndex::build(data.points.clone(), data.metric, &HcnngParams::default());
+        let path = tmp("hcnng.pann");
+        hc.save_index(&path).unwrap();
+        let loaded = load_index::<u8>(&path).unwrap();
+        assert_eq!(loaded.kind(), IndexKind::Hcnng);
+        assert_eq!(
+            loaded.search(data.queries.point(0), &qp).0,
+            hc.search(data.queries.point(0), &qp).0
+        );
+        // The concrete loader agrees.
+        assert_eq!(
+            HcnngIndex::<u8>::load(&path).unwrap().graph.fingerprint(),
+            hc.graph.fingerprint()
+        );
+        std::fs::remove_file(&path).unwrap();
+
+        let py = PyNNDescentIndex::build(
+            data.points.clone(),
+            data.metric,
+            &PyNNDescentParams {
+                num_trees: 4,
+                max_iters: 3,
+                ..PyNNDescentParams::default()
+            },
+        );
+        let path = tmp("pynn.pann");
+        py.save_index(&path).unwrap();
+        let loaded = load_index::<u8>(&path).unwrap();
+        assert_eq!(loaded.kind(), IndexKind::PyNNDescent);
+        assert_eq!(
+            loaded.search(data.queries.point(0), &qp).0,
+            py.search(data.queries.point(0), &qp).0
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loading_with_the_wrong_kind_is_rejected() {
+        let data = bigann_like(200, 1, 80);
+        let hc = HcnngIndex::build(data.points.clone(), data.metric, &HcnngParams::default());
+        let path = tmp("wrongkind.pann");
+        crate::query::AnnIndex::save_index(&hc, &path).unwrap();
+        let err = match VamanaIndex::<u8>::load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("kind mismatch must fail"),
+        };
+        assert!(err.to_string().contains("hcnng"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_a_clear_invalid_data_error() {
+        // A corrupted header claiming version 9 must fail loudly, not be
+        // misread as either known layout.
+        let path = tmp("badversion.pann");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]); // junk payload
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match VamanaIndex::<u8>::load(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("version 9 must fail"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version 9"), "{err}");
+        let err = match load_index::<u8>(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("dyn loader must fail too"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_kind_tag_is_rejected() {
+        let path = tmp("badkind.pann");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.push(42); // no such kind
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = match load_index::<u8>(&path) {
+            Err(e) => e,
+            Ok(_) => panic!("kind 42 must fail"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("kind tag 42"), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

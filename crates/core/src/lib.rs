@@ -12,14 +12,16 @@
 //!
 //! ```
 //! use ann_data::{bigann_like, compute_ground_truth, recall_ids};
-//! use parlayann::{VamanaIndex, VamanaParams, QueryParams};
+//! use parlayann::{AnnIndex, VamanaIndex, VamanaParams, QueryParams};
 //!
 //! let data = bigann_like(2_000, 20, 42);
 //! let index = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
 //! let params = QueryParams { beam: 32, ..QueryParams::default() };
-//! let results: Vec<Vec<u32>> = (0..data.queries.len())
-//!     .map(|q| index.search(data.queries.point(q), &params).0
-//!         .into_iter().map(|(id, _)| id).collect())
+//! // Batched, query-blocked search through the unified engine —
+//! // bit-identical to calling `index.search` per query.
+//! let results: Vec<Vec<u32>> = index.search_batch(&data.queries, &params)
+//!     .into_iter()
+//!     .map(|(res, _stats)| res.into_iter().map(|(id, _)| id).collect())
 //!     .collect();
 //! let gt = compute_ground_truth(&data.points, &data.queries, 10, data.metric);
 //! assert!(recall_ids(&gt, &results, 10, 10) > 0.8);
@@ -43,32 +45,24 @@ pub mod medoid;
 pub mod params;
 pub mod prune;
 pub mod pynndescent;
+pub mod query;
 pub mod range;
 pub mod stats;
 pub mod visited;
 
-pub use beam::{beam_search, QueryParams, VisitedMode};
+pub use beam::{beam_search, beam_search_into, QueryParams, SearchScratch, VisitedMode};
 pub use builder::{incremental_build, BuildParams};
 pub use diskann::{VamanaIndex, VamanaParams};
 pub use graph::FlatGraph;
 pub use hcnng::{HcnngIndex, HcnngParams};
 pub use hnsw::{HnswIndex, HnswParams};
+pub use io::load_index;
 pub use medoid::medoid;
 pub use prune::{heuristic_prune, robust_prune};
 pub use pynndescent::{PyNNDescentIndex, PyNNDescentParams};
+pub use query::{
+    aggregate_stats, beam_search_block, default_block, AnnIndex, BlockScratch, IndexKind,
+    IndexStats, QueryEngine, Starts,
+};
 pub use range::{range_search, RangeParams};
-pub use stats::{BuildStats, SearchStats};
-
-use ann_data::VectorElem;
-
-/// Common query interface implemented by every index in this workspace
-/// (the four graph algorithms here and the IVF/LSH baselines), so the
-/// benchmark harness can sweep them uniformly.
-pub trait AnnIndex<T: VectorElem>: Sync {
-    /// Returns up to `params.k` `(id, distance)` pairs, closest first, plus
-    /// per-query search statistics.
-    fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats);
-
-    /// Short display name for experiment tables.
-    fn name(&self) -> String;
-}
+pub use stats::{BuildStats, SearchStats, StatsMode};

@@ -20,8 +20,11 @@ use crate::cluster::random_cluster_leaves;
 use crate::graph::{FlatGraph, ROW_WRITE_GRAIN};
 use crate::medoid::medoid;
 use crate::prune::robust_prune;
+use crate::query::{IndexKind, IndexStats, Starts};
+use crate::range::RangeParams;
 use crate::stats::{BuildStats, SearchStats};
 use crate::AnnIndex;
+use ann_data::io::BinaryElem;
 use ann_data::{distance, Metric, PointSet, VectorElem};
 use parlay::{group_by_u32, hash64_pair, Random};
 use rayon::prelude::*;
@@ -361,15 +364,88 @@ impl<T: VectorElem> PyNNDescentIndex<T> {
     pub fn points(&self) -> &PointSet<T> {
         &self.points
     }
+
+    /// Reassembles an index from its parts (deserialization). The caller
+    /// is responsible for consistency between `graph` and `points`; the
+    /// descent round count is not persisted and restores as 0.
+    pub fn from_parts(
+        graph: FlatGraph,
+        starts: Vec<u32>,
+        metric: Metric,
+        build_stats: BuildStats,
+        points: PointSet<T>,
+    ) -> Self {
+        assert_eq!(graph.len(), points.len(), "graph/point count mismatch");
+        assert!(
+            starts.iter().all(|&s| (s as usize) < points.len()),
+            "start out of range"
+        );
+        PyNNDescentIndex {
+            graph,
+            starts,
+            metric,
+            build_stats,
+            rounds: 0,
+            points,
+        }
+    }
 }
 
-impl<T: VectorElem> AnnIndex<T> for PyNNDescentIndex<T> {
+impl<T: VectorElem + BinaryElem> AnnIndex<T> for PyNNDescentIndex<T> {
     fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
         PyNNDescentIndex::search(self, query, params)
     }
 
     fn name(&self) -> String {
         "ParlayPyNN".into()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::PyNNDescent
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
+    }
+
+    /// Query-blocked batched search from the shared entry sample.
+    fn search_batch_blocked(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        block_size: usize,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        crate::query::search_batch_graph(
+            queries,
+            &self.points,
+            self.metric,
+            &self.graph,
+            Starts::Shared(&self.starts),
+            params,
+            block_size,
+        )
+    }
+
+    fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+        crate::range::range_search(
+            query,
+            &self.points,
+            self.metric,
+            &self.graph,
+            &self.starts,
+            params,
+        )
+    }
+
+    fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::io::save_flat_index(
+            path,
+            IndexKind::PyNNDescent,
+            self.metric,
+            &self.starts,
+            &self.graph,
+            &self.points,
+        )
     }
 }
 

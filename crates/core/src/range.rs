@@ -71,6 +71,7 @@ pub fn range_search<T: VectorElem, G: GraphView>(
             cut: 1.0,
             limit: usize::MAX,
             visited: crate::beam::VisitedMode::Exact,
+            stats: crate::stats::StatsMode::Counters,
         };
         nav = beam_search(query, points, metric, view, starts, &qp);
         stats = nav.stats;

@@ -4,6 +4,32 @@
 //! (Fig. 3d–f, Fig. 6c): for high-dimensional points, distance evaluations
 //! dominate cost, so they are a machine-independent efficiency measure.
 
+/// Whether a search collects per-query counters.
+///
+/// The expansion loop is hot enough that even two increments per candidate
+/// are measurable at small dimensionality, so serving-style callers can
+/// switch them off via [`QueryParams::stats`](crate::beam::QueryParams):
+/// with `Off`, every counter update is behind a predictable branch on a
+/// register-resident flag and the returned [`SearchStats`] is all zeros.
+/// Results are identical in both modes — only the counters differ.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StatsMode {
+    /// Collect distance-comparison and hop counters (the default; the
+    /// paper reports dist comps per query alongside QPS).
+    #[default]
+    Counters,
+    /// Skip all counter updates in the hot loop.
+    Off,
+}
+
+impl StatsMode {
+    /// Whether counters are collected.
+    #[inline]
+    pub fn enabled(self) -> bool {
+        self == StatsMode::Counters
+    }
+}
+
 /// Per-query statistics from a beam search (or baseline scan).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {

@@ -21,14 +21,25 @@ pub struct ApproxFilter {
 }
 
 impl ApproxFilter {
-    /// A filter sized for a beam of width `beam` (table size `beam²`,
-    /// rounded to a power of two and clamped to `[64, 2¹⁶]`).
+    /// Table size used for a beam of width `beam` (`beam²`, rounded to a
+    /// power of two and clamped to `[64, 2¹⁶]`).
+    pub fn size_for_beam(beam: usize) -> usize {
+        (beam * beam).next_power_of_two().clamp(64, 1 << 16)
+    }
+
+    /// A filter sized for a beam of width `beam` (see
+    /// [`Self::size_for_beam`]).
     pub fn for_beam(beam: usize) -> Self {
-        let size = (beam * beam).next_power_of_two().clamp(64, 1 << 16);
+        let size = Self::size_for_beam(beam);
         ApproxFilter {
             slots: vec![EMPTY; size],
             mask: (size - 1) as u64,
         }
+    }
+
+    /// Empties the filter, retaining its allocation (scratch-reuse path).
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
     }
 
     /// Inserts `id`; returns `true` if `id` was already present.
@@ -77,6 +88,21 @@ impl VisitedFilter {
         match self {
             VisitedFilter::Approx(f) => f.test_and_insert(id),
             VisitedFilter::Exact(s) => !s.insert(id),
+        }
+    }
+
+    /// Re-initializes for a new search with the given configuration,
+    /// reusing the existing allocation when variant and size match (the
+    /// [`SearchScratch`](crate::beam::SearchScratch) reuse path).
+    pub fn reset(&mut self, approx: bool, beam: usize) {
+        match self {
+            VisitedFilter::Approx(f)
+                if approx && f.slots.len() == ApproxFilter::size_for_beam(beam) =>
+            {
+                f.clear()
+            }
+            VisitedFilter::Exact(s) if !approx => s.clear(),
+            other => *other = VisitedFilter::new(approx, beam),
         }
     }
 }

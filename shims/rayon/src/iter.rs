@@ -153,6 +153,41 @@ pub trait ParallelIterator: Sized + Send + Sync {
             &|a, b| [a, b].into_iter().sum::<S>(),
         )
     }
+
+    /// Reduces the items with `op`, seeding every leaf with `identity()`.
+    ///
+    /// Like [`sum`](Self::sum), the reduction tree is a pure function of
+    /// the input length (length-only splits, left-before-right combining),
+    /// so non-associative reductions — `f32` accumulation, stat merging
+    /// with rounding — give the same bits at any thread count.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        drive(
+            &self,
+            &|p: &Self, lo, hi| p.seq_range(lo, hi).fold(identity(), &op),
+            &|a, b| op(a, b),
+        )
+    }
+
+    /// Folds items into per-leaf accumulators seeded with `identity()`
+    /// (rayon's `fold`). The result offers [`Fold::reduce`] to combine the
+    /// leaf accumulators; leaf boundaries depend only on the input length,
+    /// so the whole fold/reduce pipeline is schedule-independent.
+    fn fold<U, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        U: Send,
+        ID: Fn() -> U + Sync + Send,
+        F: Fn(U, Self::Item) -> U + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
 }
 
 /// Recursive halving driver: leaves run `leaf`, inner nodes `combine`
@@ -442,6 +477,44 @@ impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
 
     fn seq_range(&self, start: usize, end: usize) -> Self::SeqIter<'_> {
         self.base.seq_range(start, end)
+    }
+}
+
+/// See [`ParallelIterator::fold`]. The number of leaf accumulators is an
+/// implementation detail (one per leaf of the length-only split tree), so
+/// this is not itself a [`ParallelIterator`]; it offers the terminal
+/// [`reduce`](Fold::reduce) the workspace uses.
+pub struct Fold<B, ID, F> {
+    base: B,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<B, U, ID, F> Fold<B, ID, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    ID: Fn() -> U + Sync + Send,
+    F: Fn(U, B::Item) -> U + Sync + Send,
+{
+    /// Combines the per-leaf accumulators with `op` (rayon's
+    /// `fold(..).reduce(..)` idiom). `identity()` seeds the combine of an
+    /// empty input; the combining tree is fixed by the input length.
+    pub fn reduce<ID2, OP>(self, identity: ID2, op: OP) -> U
+    where
+        ID2: Fn() -> U + Sync + Send,
+        OP: Fn(U, U) -> U + Sync + Send,
+    {
+        if self.base.par_len() == 0 {
+            return identity();
+        }
+        let seed = &self.identity;
+        let fold_op = &self.fold_op;
+        drive(
+            &self.base,
+            &|p: &B, lo, hi| p.seq_range(lo, hi).fold(seed(), fold_op),
+            &|a, b| op(a, b),
+        )
     }
 }
 

@@ -208,3 +208,55 @@ fn install_returns_from_deep_fork_join() {
         assert_eq!(pool(8).install(|| join_tree_sum(&xs)), want);
     }
 }
+
+#[test]
+fn reduce_matches_sequential_fold() {
+    let xs: Vec<u64> = (0..10_000).map(|i| i * 3 + 1).collect();
+    let want: u64 = xs.iter().sum();
+    let got = pool(8).install(|| xs.par_iter().map(|&x| x).reduce(|| 0u64, |a, b| a + b));
+    assert_eq!(got, want);
+    // Empty input returns the identity.
+    let empty: Vec<u64> = Vec::new();
+    assert_eq!(
+        empty.par_iter().map(|&x| x).reduce(|| 7u64, |a, b| a + b),
+        7
+    );
+}
+
+#[test]
+fn fold_reduce_float_bits_identical_across_thread_counts() {
+    // The fold/reduce tree must be a pure function of the input length:
+    // non-associative f32 accumulation gives the same bits at 1 and 8
+    // threads, under real stealing schedules.
+    let xs: Vec<f32> = (0..5_000)
+        .map(|i| ((i * 37) % 113) as f32 * 0.137)
+        .collect();
+    let run = |threads: usize| -> u32 {
+        pool(threads)
+            .install(|| {
+                xs.par_iter()
+                    .fold(|| 0.0f32, |acc, &x| acc + x * x)
+                    .reduce(|| 0.0f32, |a, b| a + b)
+            })
+            .to_bits()
+    };
+    let one = run(1);
+    for _ in 0..10 {
+        assert_eq!(run(8), one);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fold_reduce_counts_every_item(n in 0usize..3_000, min_len in 1usize..300) {
+        let xs: Vec<usize> = (0..n).collect();
+        let count = xs
+            .par_iter()
+            .with_min_len(min_len)
+            .fold(|| 0usize, |acc, _| acc + 1)
+            .reduce(|| 0usize, |a, b| a + b);
+        prop_assert_eq!(count, n);
+    }
+}

@@ -3,7 +3,7 @@
 
 use parlayann_suite::baselines::{IvfIndex, IvfParams, LshIndex, LshParams};
 use parlayann_suite::core::{
-    HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
+    AnnIndex, HcnngIndex, HcnngParams, HnswIndex, HnswParams, PyNNDescentIndex, PyNNDescentParams,
     QueryParams, VamanaIndex, VamanaParams,
 };
 use parlayann_suite::data::bigann_like;
@@ -178,4 +178,40 @@ fn beam_search_byte_identical_across_1_4_8_threads() {
     assert!(!one.is_empty());
     assert_eq!(one, four);
     assert_eq!(one, eight);
+}
+
+#[test]
+fn batched_search_20_runs_at_8_threads_bit_identical() {
+    // The query-blocked engine under real stealing schedules: the same
+    // batch, 20 times, on 8 workers, through the trait's blocked path.
+    // Every run sees different task placement and scratch reuse from the
+    // pool; every (id, dist) sequence must be the same bits, and must
+    // equal the strictly sequential per-query reference.
+    let d = bigann_like(700, 24, 19);
+    let index = VamanaIndex::build(d.points.clone(), d.metric, &VamanaParams::default());
+    let params = QueryParams {
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let digest = |results: &[(Vec<(u32, f32)>, parlayann_suite::core::SearchStats)]| -> u64 {
+        results.iter().fold(0u64, |acc, (res, stats)| {
+            let acc = parlay::hash64_pair(acc, stats.dist_comps as u64);
+            res.iter().fold(acc, |acc, &(id, dist)| {
+                parlay::hash64_pair(parlay::hash64_pair(acc, id as u64), dist.to_bits() as u64)
+            })
+        })
+    };
+    let solo: Vec<_> = (0..d.queries.len())
+        .map(|q| index.search(d.queries.point(q), &params))
+        .collect();
+    let baseline = digest(&solo);
+    for run in 0..20 {
+        let fp = parlay::with_threads(8, || {
+            digest(&index.search_batch_blocked(&d.queries, &params, 16))
+        });
+        assert_eq!(
+            fp, baseline,
+            "run {run} diverged from the sequential reference"
+        );
+    }
 }
