@@ -127,38 +127,20 @@ fn main() {
         }
     );
 
-    // Append one JSON record (hand-rolled; the workspace has no serde).
-    let record = format!(
-        concat!(
-            "{{\"bench\":\"batch_qps\",\"algo\":\"vamana\",\"n\":{},\"queries\":{},",
-            "\"threads\":{},\"beam\":{},\"qps_single\":{:.1},",
-            "\"block_sizes\":[{}],\"qps_blocked\":[{}],",
-            "\"fingerprint\":\"0x{:016x}\",\"identical\":{}}}\n"
-        ),
-        n,
-        queries.len(),
-        threads,
-        params.beam,
-        qps_single,
-        block_sizes
-            .iter()
-            .map(|b| b.to_string())
-            .collect::<Vec<_>>()
-            .join(","),
-        block_qps
-            .iter()
-            .map(|&(_, q)| format!("{q:.1}"))
-            .collect::<Vec<_>>()
-            .join(","),
-        fp,
-        identical
-    );
-    std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&out_path)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()))
-        .expect("failed to write bench record");
+    // Append one JSON record through the shared serializer.
+    let record = parlayann_bench::JsonRecord::new("batch_qps")
+        .str("algo", "vamana")
+        .uint("n", n as u64)
+        .uint("queries", queries.len() as u64)
+        .uint("threads", threads as u64)
+        .uint("beam", params.beam as u64)
+        .float("qps_single", qps_single, 1)
+        .uint_list("block_sizes", block_sizes.iter().map(|&b| b as u64))
+        .float_list("qps_blocked", block_qps.iter().map(|&(_, q)| q), 1)
+        .str("fingerprint", &format!("0x{fp:016x}"))
+        .bool("identical", identical)
+        .finish();
+    parlayann_bench::append_record(&out_path, &record).expect("failed to write bench record");
     println!("  appended record to {out_path}");
     println!("FINGERPRINT 0x{fp:016x}");
 

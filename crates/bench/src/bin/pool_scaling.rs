@@ -80,36 +80,18 @@ fn main() {
         warm
     );
 
-    // Append one JSON record (hand-rolled; the workspace has no serde).
-    let speedups: Vec<String> = seconds
-        .iter()
-        .map(|&s| format!("{:.3}", seconds[0] / s))
-        .collect();
-    let record = format!(
-        concat!(
-            "{{\"bench\":\"pool_scaling\",\"algo\":\"vamana\",\"n\":{},",
-            "\"available_parallelism\":{},\"threads\":[{}],",
-            "\"build_seconds\":[{}],\"speedup_vs_1\":[{}],",
-            "\"fingerprint\":\"0x{:016x}\",\"deterministic\":{}}}\n"
-        ),
-        n,
-        cores,
-        threads.map(|t| t.to_string()).join(","),
-        seconds
-            .iter()
-            .map(|s| format!("{s:.3}"))
-            .collect::<Vec<_>>()
-            .join(","),
-        speedups.join(","),
-        warm,
-        deterministic
-    );
-    std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&out_path)
-        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()))
-        .expect("failed to write bench record");
+    // Append one JSON record through the shared serializer.
+    let record = parlayann_bench::JsonRecord::new("pool_scaling")
+        .str("algo", "vamana")
+        .uint("n", n as u64)
+        .uint("available_parallelism", cores as u64)
+        .uint_list("threads", threads.iter().map(|&t| t as u64))
+        .float_list("build_seconds", seconds.iter().copied(), 3)
+        .float_list("speedup_vs_1", seconds.iter().map(|&s| seconds[0] / s), 3)
+        .str("fingerprint", &format!("0x{warm:016x}"))
+        .bool("deterministic", deterministic)
+        .finish();
+    parlayann_bench::append_record(&out_path, &record).expect("failed to write bench record");
     println!("  appended record to {out_path}");
 
     if !deterministic {

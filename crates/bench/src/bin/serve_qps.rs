@@ -1,0 +1,323 @@
+//! `serve_qps` — latency/throughput of the deadline-batched serving
+//! front-end vs offered load.
+//!
+//! Builds a Vamana index, wraps it in a [`parlayann_serve::Server`], and
+//! drives it with open-loop client threads at several offered loads
+//! (fractions of the measured closed-loop capacity). Reports latency
+//! percentiles, achieved throughput, and mean batch size per load level,
+//! verifies every response is **bit-identical** to direct
+//! `search_batch`, and appends a machine-readable record to
+//! `BENCH_serve.json` (appending, like `BENCH_batch.json` — the perf
+//! trajectory accumulates across PRs).
+//!
+//! ```text
+//! cargo run --release -p parlayann_bench --bin serve_qps [n] [out.json]
+//! ```
+//!
+//! Defaults: `n` = 10 000 points (or `PARLAYANN_SCALE`), output
+//! `BENCH_serve.json`. `PARLAYANN_SERVE_BUDGET_US` tunes the per-request
+//! latency budget (default 1000µs): smaller budgets dispatch smaller,
+//! lower-latency, lower-throughput batches. The printed result
+//! fingerprint depends only on `(index, queries, params)` — CI diffs it
+//! across `PARLAY_NUM_THREADS` settings.
+
+use ann_data::bigann_like;
+use parlayann::{AnnIndex, QueryParams, SearchStats, VamanaIndex, VamanaParams};
+use parlayann_serve::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Order-sensitive digest over every query's `(id, dist-bits)` sequence.
+fn fingerprint(results: &[(Vec<(u32, f32)>, SearchStats)]) -> u64 {
+    results.iter().fold(0x9e3779b97f4a7c15, |acc, (res, _)| {
+        res.iter().fold(acc, |acc, &(id, d)| {
+            parlay::hash64_pair(parlay::hash64_pair(acc, id as u64), d.to_bits() as u64)
+        })
+    })
+}
+
+/// `p`-th percentile (0..=100) of a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct LoadResult {
+    offered_qps: f64,
+    achieved_qps: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    mean_batch: f64,
+    deadline_share: f64,
+}
+
+/// How many requests each client keeps in flight. 4 clients × 16 =
+/// up to 64 outstanding requests, enough for the server's full-batch
+/// trigger to fire at the default `max_block = 16` — a strictly
+/// per-request closed loop would cap in-flight at the client count and
+/// never exercise full batches.
+const PIPELINE_DEPTH: usize = 16;
+
+/// Drives `clients` pipelined client threads at `offered_qps` total
+/// (`f64::INFINITY` = no pacing, submit whenever the pipeline has room)
+/// and collects submit→response latencies. Each client harvests finished
+/// responses before every submit and only blocks when its pipeline is
+/// full, so paced submits stay close to their schedule (latency
+/// observation lags by at most one inter-arrival gap; a full pipeline
+/// still back-pressures the offered load, which the achieved-QPS column
+/// makes visible). Returns aggregate numbers plus whether every response
+/// matched the reference bits.
+#[allow(clippy::too_many_arguments)]
+fn run_load(
+    index: &Arc<VamanaIndex<u8>>,
+    reference: &[(Vec<(u32, f32)>, SearchStats)],
+    queries: &ann_data::PointSet<u8>,
+    params: QueryParams,
+    clients: usize,
+    per_client: usize,
+    offered_qps: f64,
+    budget: Duration,
+) -> (LoadResult, bool) {
+    let server = Arc::new(Server::start(
+        Arc::clone(index) as Arc<dyn AnnIndex<u8> + Send + Sync>,
+        ServerConfig {
+            params,
+            ..ServerConfig::default()
+        },
+    ));
+    let nq = queries.len();
+    let interarrival = if offered_qps.is_finite() {
+        Duration::from_secs_f64(clients as f64 / offered_qps)
+    } else {
+        Duration::ZERO
+    };
+    let t0 = Instant::now();
+    let (latencies, identical): (Vec<Vec<f64>>, Vec<bool>) = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..clients)
+            .map(|client| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    let mut lats = Vec::with_capacity(per_client);
+                    let mut ok = true;
+                    let mut inflight: std::collections::VecDeque<(
+                        usize,
+                        Instant,
+                        parlayann_serve::ResponseHandle,
+                    )> = std::collections::VecDeque::new();
+                    let mut check = |q: usize, sent: Instant, resp: parlayann_serve::Response| {
+                        lats.push(sent.elapsed().as_secs_f64() * 1e6);
+                        let want = &reference[q].0;
+                        ok &= resp.neighbors.len() == want.len()
+                            && resp
+                                .neighbors
+                                .iter()
+                                .zip(want)
+                                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+                    };
+                    let mut next = Instant::now();
+                    for i in 0..per_client {
+                        // Harvest everything already answered, then make
+                        // room by blocking on the oldest if still full.
+                        while let Some((q, sent, h)) = inflight.pop_front() {
+                            match h.try_take() {
+                                Some(resp) => check(q, sent, resp),
+                                None => {
+                                    inflight.push_front((q, sent, h));
+                                    break;
+                                }
+                            }
+                        }
+                        if inflight.len() == PIPELINE_DEPTH {
+                            let (q, sent, h) = inflight.pop_front().unwrap();
+                            check(q, sent, h.wait());
+                        }
+                        if !interarrival.is_zero() {
+                            next += interarrival;
+                            if let Some(wait) = next.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        let q = (client * 131 + i * 17) % nq;
+                        let sent = Instant::now();
+                        let handle = server
+                            .submit(queries.point(q), params.k, budget)
+                            .expect("server running");
+                        inflight.push_back((q, sent, handle));
+                    }
+                    for (q, sent, h) in inflight {
+                        check(q, sent, h.wait());
+                    }
+                    (lats, ok)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).unzip()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut server = Arc::into_inner(server).expect("clients done");
+    server.shutdown();
+    let stats = server.stats();
+
+    let mut lats: Vec<f64> = latencies.into_iter().flatten().collect();
+    lats.sort_by(|a, b| a.total_cmp(b));
+    let total = (clients * per_client) as f64;
+    (
+        LoadResult {
+            offered_qps,
+            achieved_qps: total / elapsed,
+            p50_us: percentile(&lats, 50.0),
+            p90_us: percentile(&lats, 90.0),
+            p99_us: percentile(&lats, 99.0),
+            mean_batch: stats.mean_batch(),
+            deadline_share: if stats.batches == 0 {
+                0.0
+            } else {
+                stats.deadline_batches as f64 / stats.batches as f64
+            },
+        },
+        identical.into_iter().all(|b| b),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("PARLAYANN_SCALE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(10_000);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let budget_us: u64 = std::env::var("PARLAYANN_SERVE_BUDGET_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    let budget = Duration::from_micros(budget_us);
+    let threads = parlay::num_threads();
+    let clients = 4;
+    let per_client = 500;
+
+    println!(
+        "serve_qps: Vamana serving, n = {n}, {clients} clients x {per_client} requests, \
+         budget {budget_us}us, {threads} worker threads"
+    );
+    let data = bigann_like(n, 200.min(n / 2).max(10), 42);
+    let index = Arc::new(VamanaIndex::build(
+        data.points.clone(),
+        data.metric,
+        &VamanaParams::default(),
+    ));
+    let params = QueryParams {
+        beam: 64,
+        ..QueryParams::default()
+    };
+    // Reference results + fingerprint (pure function of index & queries).
+    let reference = index.search_batch(&data.queries, &params);
+    let fp = fingerprint(&reference);
+
+    // Closed loop first to find capacity, then fractions of it.
+    let (capacity, cap_ok) = run_load(
+        &index,
+        &reference,
+        &data.queries,
+        params,
+        clients,
+        per_client,
+        f64::INFINITY,
+        budget,
+    );
+    let mut results = vec![capacity];
+    let mut identical = cap_ok;
+    for frac in [0.8, 0.4] {
+        let offered = results[0].achieved_qps * frac;
+        let (r, ok) = run_load(
+            &index,
+            &reference,
+            &data.queries,
+            params,
+            clients,
+            per_client,
+            offered,
+            budget,
+        );
+        results.push(r);
+        identical &= ok;
+    }
+
+    println!("\n  offered      achieved     p50       p90       p99      batch  deadline%");
+    for r in &results {
+        let offered = if r.offered_qps.is_finite() {
+            format!("{:>8.0}", r.offered_qps)
+        } else {
+            "  closed".to_string()
+        };
+        println!(
+            "  {offered}     {:>8.0}  {:>7.0}us {:>7.0}us {:>7.0}us   {:>5.1}   {:>5.1}%",
+            r.achieved_qps,
+            r.p50_us,
+            r.p90_us,
+            r.p99_us,
+            r.mean_batch,
+            r.deadline_share * 100.0
+        );
+    }
+    println!(
+        "\n  results: {} (fingerprint 0x{fp:016x})",
+        if identical {
+            "bit-identical to direct search_batch for every response"
+        } else {
+            "MISMATCH — served responses diverged from direct search"
+        }
+    );
+
+    let record = parlayann_bench::JsonRecord::new("serve_qps")
+        .str("algo", "vamana")
+        .uint("n", n as u64)
+        .uint("queries", data.queries.len() as u64)
+        .uint("threads", threads as u64)
+        .uint("clients", clients as u64)
+        .uint("requests_per_client", per_client as u64)
+        .uint("beam", params.beam as u64)
+        .uint("budget_us", budget_us)
+        .float_list(
+            "offered_qps",
+            results.iter().map(|r| {
+                if r.offered_qps.is_finite() {
+                    r.offered_qps
+                } else {
+                    -1.0 // closed loop
+                }
+            }),
+            1,
+        )
+        .float_list("achieved_qps", results.iter().map(|r| r.achieved_qps), 1)
+        .float_list("p50_us", results.iter().map(|r| r.p50_us), 1)
+        .float_list("p90_us", results.iter().map(|r| r.p90_us), 1)
+        .float_list("p99_us", results.iter().map(|r| r.p99_us), 1)
+        .float_list("mean_batch", results.iter().map(|r| r.mean_batch), 2)
+        .float_list(
+            "deadline_share",
+            results.iter().map(|r| r.deadline_share),
+            3,
+        )
+        .str("fingerprint", &format!("0x{fp:016x}"))
+        .bool("identical", identical)
+        .finish();
+    parlayann_bench::append_record(&out_path, &record).expect("failed to write bench record");
+    println!("  appended record to {out_path}");
+    println!("FINGERPRINT 0x{fp:016x}");
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

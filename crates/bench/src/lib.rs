@@ -20,7 +20,9 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod record;
 pub mod workloads;
 
 pub use harness::{sweep, tabulate_queries, SweepPoint};
+pub use record::{append_record, JsonRecord};
 pub use workloads::{default_scale, Workload};

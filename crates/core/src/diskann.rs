@@ -243,6 +243,24 @@ impl<T: VectorElem + BinaryElem> AnnIndex<T> for VamanaIndex<T> {
         )
     }
 
+    /// Serving path: run on the caller's long-lived engine so its scratch
+    /// pool persists across dispatched batches.
+    fn search_batch_in(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        engine: &crate::query::QueryEngine<T>,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        engine.search_batch(
+            queries,
+            &self.points,
+            self.metric,
+            &self.graph,
+            Starts::Shared(std::slice::from_ref(&self.start)),
+            params,
+        )
+    }
+
     fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
         VamanaIndex::range_search(self, query, params)
     }

@@ -433,18 +433,33 @@ impl<T: VectorElem> AnnIndex<T> for HnswIndex<T> {
         params: &QueryParams,
         block_size: usize,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        self.search_batch_in(
+            queries,
+            params,
+            &crate::query::QueryEngine::with_block_size(block_size),
+        )
+    }
+
+    /// Serving path: same descend-then-block pipeline, run on the
+    /// caller's long-lived engine so its scratch pool persists across
+    /// dispatched batches.
+    fn search_batch_in(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        engine: &crate::query::QueryEngine<T>,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
         let descents: Vec<(u32, usize)> = parlay::tabulate(queries.len(), |q| {
             self.descend(queries.point(q), params.stats)
         });
         let starts: Vec<Vec<u32>> = descents.iter().map(|&(cur, _)| vec![cur]).collect();
-        let mut out = crate::query::search_batch_graph(
+        let mut out = engine.search_batch(
             queries,
             &self.points,
             self.metric,
             &LayerView(&self.layers[0]),
             Starts::PerQuery(&starts),
             params,
-            block_size,
         );
         for (res, &(_, dc)) in out.iter_mut().zip(&descents) {
             res.1.dist_comps += dc;

@@ -206,6 +206,25 @@ pub trait AnnIndex<T: VectorElem>: Sync {
         parlay::tabulate(queries.len(), |q| self.search(queries.point(q), params))
     }
 
+    /// [`search_batch`](Self::search_batch) through a **caller-owned**
+    /// [`QueryEngine`] — the serving hook. A long-lived caller (the
+    /// `parlayann_serve` front-end) keeps one engine for the lifetime of
+    /// the process so its scratch pool is reused across every dispatched
+    /// batch; the per-call engines the other entry points construct would
+    /// re-allocate scratch per batch instead. Same bit-identity contract
+    /// as `search_batch`. The default ignores the engine's pool and
+    /// defers to [`search_batch_blocked`](Self::search_batch_blocked)
+    /// at the engine's block size; the graph indexes override it to run
+    /// on the engine itself.
+    fn search_batch_in(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        engine: &QueryEngine<T>,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        self.search_batch_blocked(queries, params, engine.block_size())
+    }
+
     /// Reports (approximately) all points within `params.radius` of
     /// `query`, sorted by distance.
     ///
@@ -691,7 +710,14 @@ impl<T: VectorElem> QueryEngine<T> {
         self.block_size
     }
 
-    fn take_scratch(&self) -> BlockScratch<T> {
+    /// Checks a [`BlockScratch`] out of the engine's pool, creating a
+    /// fresh one when the pool is empty. Pair with
+    /// [`checkin`](Self::checkin) when done — callers that drive
+    /// [`beam_search_block`] directly (e.g. a serving layer pinning one
+    /// scratch per worker thread) use this instead of `search_batch`.
+    /// Which scratch a caller gets never affects results (every buffer is
+    /// cleared per block), so checkout order is irrelevant.
+    pub fn checkout(&self) -> BlockScratch<T> {
         self.pool
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -699,7 +725,8 @@ impl<T: VectorElem> QueryEngine<T> {
             .unwrap_or_default()
     }
 
-    fn put_scratch(&self, scratch: BlockScratch<T>) {
+    /// Returns a scratch to the pool for reuse by later blocks.
+    pub fn checkin(&self, scratch: BlockScratch<T>) {
         self.pool
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -731,7 +758,7 @@ impl<T: VectorElem> QueryEngine<T> {
             .map(|b| {
                 let lo = b * bs;
                 let hi = ((b + 1) * bs).min(nq);
-                let mut scratch = self.take_scratch();
+                let mut scratch = self.checkout();
                 let out = beam_search_block(
                     &mut scratch,
                     queries,
@@ -743,7 +770,7 @@ impl<T: VectorElem> QueryEngine<T> {
                     starts,
                     params,
                 );
-                self.put_scratch(scratch);
+                self.checkin(scratch);
                 out
             })
             .collect();

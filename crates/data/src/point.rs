@@ -233,11 +233,28 @@ impl<T: VectorElem> PointSet<T> {
         }
     }
 
-    fn push_row(&mut self, row: &[T]) {
-        debug_assert_eq!(row.len(), self.dim);
+    /// An empty set of `dim`-dimensional points, ready for
+    /// [`push_row`](Self::push_row). This is how a serving layer assembles
+    /// a batch from heterogeneous (individually-owned) request vectors
+    /// into the padded, aligned layout the query engine consumes.
+    pub fn with_dim(dim: usize) -> Self {
+        PointSet::empty(dim)
+    }
+
+    /// Appends one point (length [`Self::dim`]), padding it to the row
+    /// stride.
+    pub fn push_row(&mut self, row: &[T]) {
+        assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
         self.data.extend_from_slice(row);
         self.data.extend_zeroed(self.stride - self.dim);
         self.len += 1;
+    }
+
+    /// Empties the set, keeping its allocation for reuse (the batch
+    /// assembly buffer of a serving worker is cleared per batch).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.len = 0;
     }
 
     /// Wraps a flat row-major buffer. `data.len()` must be a multiple of `dim`.

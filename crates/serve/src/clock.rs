@@ -1,0 +1,104 @@
+//! Time sources for the serving layer.
+//!
+//! Every batching decision reads time through the [`Clock`] trait, so the
+//! coalescer can run against the monotonic [`WallClock`] in production and
+//! against a [`ManualClock`] in tests — with a manual clock, *when* a
+//! request is considered late is fully controlled by the test, which makes
+//! batching decisions (and therefore batch composition) reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source reporting nanoseconds since an arbitrary
+/// per-clock epoch. Only differences between readings are meaningful.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: [`Instant`] elapsed since clock construction.
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates only after ~580 years of process uptime.
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A test clock that advances only when told to. Starts at 0.
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock at time 0.
+    pub fn new() -> Self {
+        ManualClock {
+            ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.advance_ns(d.as_nanos() as u64);
+    }
+
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        c.advance(Duration::from_micros(5));
+        assert_eq!(c.now_ns(), 5_000);
+        c.advance_ns(10);
+        assert_eq!(c.now_ns(), 5_010);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,266 @@
+//! # parlayann-serve — deadline-batched online serving
+//!
+//! Turns the batch-oriented query engine of [`parlayann::QueryEngine`]
+//! into an online serving system, LANNS-style: many client threads submit
+//! *single* queries; a coalescer groups them into query blocks under a
+//! dual trigger — **block full** (batch bound reached) or **deadline**
+//! (the oldest waiting request's latency budget elapsed) — and a worker
+//! pool executes the blocks through the engine's query-blocked,
+//! scratch-pooled batch path.
+//!
+//! The ParlayANN determinism guarantee is what makes this layer strictly
+//! testable: the engine's batched search is bit-identical to per-query
+//! search at any block size and thread count, so a served response is
+//! **bit-identical to a direct `search_batch`** of the same query no
+//! matter how requests happen to be coalesced under load. The stress
+//! tests assert exactly that.
+//!
+//! Everything is pure std (threads + channels + condvars): no async
+//! runtime is required, matching the workspace's offline-shim policy.
+//!
+//! ## Pieces
+//!
+//! * [`Coalescer`] — the batching decision, free of clocks and threads
+//!   (single-steppable, property-testable).
+//! * [`Clock`] / [`WallClock`] / [`ManualClock`] — time sources; manual
+//!   time makes batching decisions reproducible.
+//! * [`Server`] — the front-end: `submit(query, k, budget)` →
+//!   [`ResponseHandle`], background coalescer + workers (or the
+//!   deterministic [`Server::pump`] mode), graceful draining shutdown,
+//!   aggregate stats gated on the engine's `StatsMode`.
+
+pub mod clock;
+pub mod coalescer;
+pub mod server;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use coalescer::{Coalescer, Deadlined, DispatchReason, Poll};
+pub use server::{
+    Response, ResponseHandle, Server, ServerConfig, ServerStatsSnapshot, SubmitError,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::PointSet;
+    use parlayann::{QueryParams, StatsMode, VamanaIndex, VamanaParams};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn tiny_index() -> Arc<VamanaIndex<f32>> {
+        // A 2-D grid: exact neighbors are obvious and the build is fast.
+        let rows: Vec<Vec<f32>> = (0..64)
+            .map(|i| vec![(i % 8) as f32, (i / 8) as f32])
+            .collect();
+        let points = PointSet::from_rows(&rows);
+        Arc::new(VamanaIndex::build(
+            points,
+            ann_data::Metric::SquaredEuclidean,
+            &VamanaParams::default(),
+        ))
+    }
+
+    fn config(max_block: usize) -> ServerConfig {
+        ServerConfig {
+            params: QueryParams {
+                k: 4,
+                beam: 8,
+                ..QueryParams::default()
+            },
+            max_block,
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn index_panic_propagates_to_waiters_instead_of_hanging() {
+        struct PanickingIndex;
+        impl parlayann::AnnIndex<f32> for PanickingIndex {
+            fn search(
+                &self,
+                _query: &[f32],
+                _params: &QueryParams,
+            ) -> (Vec<(u32, f32)>, parlayann::SearchStats) {
+                panic!("injected index failure");
+            }
+            fn name(&self) -> String {
+                "panicking".into()
+            }
+        }
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(Arc::new(PanickingIndex), config(4), clock);
+        let h = server.submit(&[0.0, 0.0], 1, Duration::ZERO).unwrap();
+        // The batch panics inside pump's execute; the slot must be failed
+        // (not left pending), so the waiter panics instead of hanging.
+        server.pump();
+        let taken = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.try_take()));
+        assert!(taken.is_err(), "failed batch must propagate to the waiter");
+        // The server itself survives and keeps refusing/accepting work.
+        assert_eq!(server.pending(), 0);
+    }
+
+    #[test]
+    fn manual_deadline_trigger_single_steps() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(index.clone(), config(8), clock.clone());
+        let h = server
+            .submit(&[3.2, 4.1], 4, Duration::from_micros(100))
+            .unwrap();
+        // Not due yet: pump does nothing at t=0 and just before the deadline.
+        assert_eq!(server.pump(), 0);
+        clock.advance(Duration::from_micros(99));
+        assert_eq!(server.pump(), 0);
+        assert!(h.try_take().is_none());
+        assert_eq!(server.pending(), 1);
+        // At the deadline the batch executes synchronously.
+        clock.advance(Duration::from_micros(1));
+        assert_eq!(server.pump(), 1);
+        let resp = h.try_take().expect("response after pump");
+        let direct = index.search(
+            &[3.2, 4.1],
+            &QueryParams {
+                k: 4,
+                beam: 8,
+                ..QueryParams::default()
+            },
+        );
+        assert_eq!(resp.neighbors, direct.0);
+        assert_eq!(resp.batch_size, 1);
+        assert_eq!(resp.reason, DispatchReason::Deadline);
+        assert_eq!(resp.queue_ns, 100_000);
+    }
+
+    #[test]
+    fn manual_full_trigger_fires_without_time_passing() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(index, config(3), clock);
+        let handles: Vec<_> = (0..7)
+            .map(|i| {
+                server
+                    .submit(&[i as f32, 0.0], 2, Duration::from_secs(1))
+                    .unwrap()
+            })
+            .collect();
+        // 7 pending, block bound 3: two full batches are due, one request
+        // keeps waiting on its (distant) deadline.
+        assert_eq!(server.pump(), 2);
+        assert_eq!(server.pending(), 1);
+        let ready: Vec<_> = handles.iter().map(|h| h.try_take()).collect();
+        assert_eq!(ready.iter().filter(|r| r.is_some()).count(), 6);
+        assert!(ready[6].is_none());
+        for r in ready.into_iter().flatten() {
+            assert_eq!(r.batch_size, 3);
+            assert_eq!(r.reason, DispatchReason::Full);
+        }
+    }
+
+    #[test]
+    fn manual_shutdown_drains_pending_exactly_once() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let mut server = Server::manual(index, config(4), clock);
+        let handles: Vec<_> = (0..5)
+            .map(|i| {
+                server
+                    .submit(&[0.0, i as f32], 3, Duration::from_secs(10))
+                    .unwrap()
+            })
+            .collect();
+        server.shutdown();
+        for h in handles {
+            let r = h.try_take().expect("shutdown answers every request");
+            assert_eq!(r.reason, DispatchReason::Drain);
+            assert_eq!(r.neighbors.len(), 3);
+        }
+        assert_eq!(server.pending(), 0);
+        assert_eq!(
+            server.submit(&[0.0, 0.0], 1, Duration::ZERO).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.drain_batches, 2); // 4 + 1
+        assert_eq!(stats.max_batch, 4);
+    }
+
+    #[test]
+    fn per_request_k_truncates_but_never_reorders() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(index.clone(), config(8), clock.clone());
+        let full = server.submit(&[2.0, 2.0], 4, Duration::ZERO).unwrap();
+        let short = server.submit(&[2.0, 2.0], 2, Duration::ZERO).unwrap();
+        let over = server.submit(&[2.0, 2.0], 100, Duration::ZERO).unwrap();
+        server.pump();
+        let full = full.try_take().unwrap().neighbors;
+        let short = short.try_take().unwrap().neighbors;
+        let over = over.try_take().unwrap().neighbors;
+        assert_eq!(full.len(), 4);
+        assert_eq!(short, full[..2].to_vec());
+        assert_eq!(over, full); // clamped to params.k
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(index, config(4), clock);
+        assert_eq!(
+            server
+                .submit(&[1.0, 2.0, 3.0], 1, Duration::ZERO)
+                .unwrap_err(),
+            SubmitError::DimMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn stats_mode_off_disables_aggregate_counters() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let mut cfg = config(4);
+        cfg.params.stats = StatsMode::Off;
+        let server = Server::manual(index, cfg, clock);
+        let h = server.submit(&[1.0, 1.0], 2, Duration::ZERO).unwrap();
+        server.pump();
+        let resp = h.try_take().unwrap();
+        assert_eq!(resp.stats, parlayann::SearchStats::default());
+        assert_eq!(server.stats(), ServerStatsSnapshot::default());
+        // Results are unaffected by the stats mode.
+        assert_eq!(resp.neighbors.len(), 2);
+    }
+
+    #[test]
+    fn threaded_server_answers_and_drains() {
+        let index = tiny_index();
+        let server = Server::start(index.clone(), config(4));
+        let params = QueryParams {
+            k: 4,
+            beam: 8,
+            ..QueryParams::default()
+        };
+        let handles: Vec<_> = (0..10)
+            .map(|i| {
+                let q = [i as f32 * 0.7, (i % 3) as f32];
+                let h = server.submit(&q, 4, Duration::from_micros(200)).unwrap();
+                (q, h)
+            })
+            .collect();
+        for (q, h) in handles {
+            let resp = h.wait();
+            let direct = index.search(&q, &params);
+            assert_eq!(resp.neighbors, direct.0);
+            assert_eq!(resp.stats, direct.1);
+        }
+        let mut server = server;
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10);
+    }
+}

@@ -1,0 +1,716 @@
+//! The serving front-end: threads + channels around the coalescer.
+//!
+//! ```text
+//!  clients                server                            engine
+//!  ───────                ──────                            ──────
+//!  submit(q,k,budget) ──► Coalescer (FIFO, dual trigger) ─► worker: assemble
+//!        │                  │  full → dispatch               PointSet, run
+//!        ▼                  │  deadline → dispatch            search_batch_in
+//!  ResponseHandle ◄──────── └─ row i of batch → request i ◄─ (pooled scratch)
+//!        .wait()
+//! ```
+//!
+//! Pure std: the submit queue is a mutex-protected [`Coalescer`] with a
+//! condvar, dispatch is an mpsc channel drained by a small pool of worker
+//! threads, and each response travels back through the one-shot slot
+//! inside its [`ResponseHandle`]. Determinism inherits from the engine:
+//! whatever batches the coalescer happens to form, every response is
+//! bit-identical to a direct [`AnnIndex::search_batch`] of the same query
+//! — batching changes latency, never results.
+
+use crate::clock::{Clock, ManualClock, WallClock};
+use crate::coalescer::{Coalescer, Deadlined, DispatchReason, Poll};
+use ann_data::{PointSet, VectorElem};
+use parlayann::{AnnIndex, QueryEngine, QueryParams, SearchStats};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving knobs. `Default` reads the same `PARLAYANN_BLOCK` knob as the
+/// query engine, so offline and online batch shapes agree out of the box.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Search parameters shared by every request. A request's own `k` is
+    /// clamped to `params.k` (the block runs at the server's beam/k; the
+    /// response is truncated per request).
+    pub params: QueryParams,
+    /// Coalescer batch bound (the "block full" trigger).
+    pub max_block: usize,
+    /// Dispatch worker threads. Each worker runs whole batches through
+    /// the engine (which is itself batch-parallel), so a handful
+    /// suffices; more workers overlap batches when one stalls on a cold
+    /// cache.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            params: QueryParams::default(),
+            max_block: parlayann::default_block().max(2),
+            workers: 2,
+        }
+    }
+}
+
+/// Why [`Server::submit`] refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// [`Server::shutdown`] has begun; the queue is draining.
+    ShuttingDown,
+    /// The query's length does not match the index dimensionality.
+    DimMismatch {
+        /// Index dimensionality.
+        expected: usize,
+        /// Submitted query length.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::DimMismatch { expected, got } => {
+                write!(f, "query has {got} dimensions, index has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One answered request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Up to `k` `(id, distance)` pairs, closest first — bit-identical to
+    /// a direct `search_batch` of the same query.
+    pub neighbors: Vec<(u32, f32)>,
+    /// Per-request search counters (zeroed under `StatsMode::Off`).
+    pub stats: SearchStats,
+    /// How many requests shared this request's batch.
+    pub batch_size: usize,
+    /// What triggered the batch.
+    pub reason: DispatchReason,
+    /// Nanoseconds this request waited in the coalescer before dispatch.
+    pub queue_ns: u64,
+}
+
+/// Delivery state of one request's slot.
+enum SlotState {
+    Pending,
+    Ready(Response),
+    /// Batch execution panicked before this slot was filled; waiters
+    /// propagate the failure instead of hanging.
+    Failed,
+}
+
+/// The one-shot slot a response is delivered through.
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, response: Response) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(
+            matches!(*g, SlotState::Pending),
+            "response slot filled twice"
+        );
+        *g = SlotState::Ready(response);
+        self.cv.notify_all();
+    }
+
+    /// Marks the slot failed (keeping an already-delivered response).
+    fn fail(&self) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(*g, SlotState::Pending) {
+            *g = SlotState::Failed;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The client's side of one submitted request.
+pub struct ResponseHandle {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self
+            .slot
+            .state
+            .lock()
+            .map(|g| matches!(*g, SlotState::Ready(_)))
+            .unwrap_or(false);
+        f.debug_struct("ResponseHandle")
+            .field("ready", &ready)
+            .finish()
+    }
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives. Every submitted request is
+    /// answered — batches are dispatched by full/deadline triggers while
+    /// the server runs, and shutdown drains the queue.
+    ///
+    /// # Panics
+    ///
+    /// If the executing batch panicked (an index bug): the failure is
+    /// propagated to the waiter rather than hanging it forever.
+    pub fn wait(self) -> Response {
+        let mut g = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *g, SlotState::Pending) {
+                SlotState::Ready(r) => return r,
+                SlotState::Failed => panic!("serving batch panicked; response lost"),
+                SlotState::Pending => {
+                    g = self.slot.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Takes the response if it has already arrived (used with the
+    /// deterministic manual mode, where [`Server::pump`] completes
+    /// requests synchronously). Panics like [`wait`](Self::wait) if the
+    /// executing batch failed.
+    pub fn try_take(&self) -> Option<Response> {
+        let mut g = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        match std::mem::replace(&mut *g, SlotState::Pending) {
+            SlotState::Ready(r) => Some(r),
+            SlotState::Failed => panic!("serving batch panicked; response lost"),
+            SlotState::Pending => None,
+        }
+    }
+}
+
+/// A queued request: the owned query plus routing/bookkeeping.
+struct Pending<T> {
+    query: Box<[T]>,
+    k: usize,
+    submit_ns: u64,
+    deadline_ns: u64,
+    slot: Arc<Slot>,
+}
+
+impl<T> Deadlined for Pending<T> {
+    fn deadline_ns(&self) -> u64 {
+        self.deadline_ns
+    }
+}
+
+/// A dispatched batch on its way to a worker.
+struct Batch<T> {
+    reqs: Vec<Pending<T>>,
+    reason: DispatchReason,
+    dispatch_ns: u64,
+}
+
+/// Aggregate serving counters (monotonic; see [`ServerStatsSnapshot`]).
+/// Updated only when the configured `StatsMode` enables counters — with
+/// `StatsMode::Off` the serving path performs no stats bookkeeping, same
+/// as the engine's hot loop.
+#[derive(Default)]
+struct ServerStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    full_batches: AtomicU64,
+    deadline_batches: AtomicU64,
+    drain_batches: AtomicU64,
+    queue_ns_total: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// Point-in-time copy of the server's aggregate counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Requests accepted by [`Server::submit`].
+    pub submitted: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Batches dispatched because they were full.
+    pub full_batches: u64,
+    /// Batches dispatched because the most urgent pending request's
+    /// deadline arrived.
+    pub deadline_batches: u64,
+    /// Batches dispatched while draining at shutdown.
+    pub drain_batches: u64,
+    /// Total nanoseconds requests spent queued before dispatch.
+    pub queue_ns_total: u64,
+    /// Largest batch executed.
+    pub max_batch: u64,
+}
+
+impl ServerStatsSnapshot {
+    /// Mean requests per batch (0 when no batches ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean queue wait per completed request, in nanoseconds.
+    pub fn mean_queue_ns(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.queue_ns_total as f64 / self.completed as f64
+        }
+    }
+}
+
+/// State under the submit-side mutex.
+struct SubmitState<T> {
+    coal: Coalescer<Pending<T>>,
+    accepting: bool,
+}
+
+/// Everything the submit path, coalescer thread, and workers share.
+struct Shared<T: VectorElem> {
+    index: Arc<dyn AnnIndex<T> + Send + Sync>,
+    engine: QueryEngine<T>,
+    params: QueryParams,
+    /// Index dimensionality; 0 until learned from the first submit (for
+    /// index types whose `stats()` does not report it).
+    dim: AtomicUsize,
+    clock: Arc<dyn Clock>,
+    /// Whether `clock` is the wall clock: wall naps can run exactly to
+    /// the next deadline (a nanosecond there is a nanosecond of sleep);
+    /// other clocks advance out of band, so naps are capped at
+    /// [`Server::MAX_NAP`] to observe them promptly.
+    wall: bool,
+    track: bool,
+    stats: ServerStats,
+    state: Mutex<SubmitState<T>>,
+    cv: Condvar,
+}
+
+impl<T: VectorElem> Shared<T> {
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SubmitState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The deadline-batched serving front-end over one [`AnnIndex`].
+///
+/// Two modes:
+///
+/// * [`Server::start`] — production: a background coalescer thread forms
+///   batches under the dual trigger and a worker pool executes them;
+///   [`ResponseHandle::wait`] blocks until the answer arrives.
+/// * [`Server::manual`] — deterministic test mode: no background threads;
+///   the caller owns a [`ManualClock`] and advances batching explicitly
+///   with [`Server::pump`], which executes due batches synchronously on
+///   the calling thread. Identical coalescer, identical engine —
+///   batching decisions become a pure function of (submits, clock
+///   advances, pumps).
+pub struct Server<T: VectorElem> {
+    shared: Arc<Shared<T>>,
+    coalescer: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    manual: bool,
+}
+
+impl<T: VectorElem> Server<T> {
+    /// Starts a production server (wall clock, background threads).
+    pub fn start(index: Arc<dyn AnnIndex<T> + Send + Sync>, config: ServerConfig) -> Self {
+        Self::start_threaded(index, config, Arc::new(WallClock::new()), true)
+    }
+
+    /// [`start`](Self::start) with an explicit time source. With a
+    /// non-wall clock the coalescer re-polls at least every
+    /// [`MAX_NAP`](Self::MAX_NAP) while requests are pending, so advancing
+    /// such a clock is observed promptly; for fully deterministic batching
+    /// use [`manual`](Self::manual) instead.
+    pub fn start_with_clock(
+        index: Arc<dyn AnnIndex<T> + Send + Sync>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self::start_threaded(index, config, clock, false)
+    }
+
+    fn start_threaded(
+        index: Arc<dyn AnnIndex<T> + Send + Sync>,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+        wall: bool,
+    ) -> Self {
+        let shared = Self::make_shared(index, &config, clock, wall);
+        let (tx, rx) = channel::<Batch<T>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("parlayann-serve-worker-{i}"))
+                    .spawn(move || run_worker(shared, rx))
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        let coalescer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("parlayann-serve-coalescer".into())
+                .spawn(move || run_coalescer(shared, tx))
+                .expect("failed to spawn serve coalescer")
+        };
+        Server {
+            shared,
+            coalescer: Some(coalescer),
+            workers,
+            manual: false,
+        }
+    }
+
+    /// Starts a deterministic server: no background threads, batching
+    /// advances only through [`pump`](Self::pump) against the given
+    /// manual clock.
+    pub fn manual(
+        index: Arc<dyn AnnIndex<T> + Send + Sync>,
+        config: ServerConfig,
+        clock: Arc<ManualClock>,
+    ) -> Self {
+        let shared = Self::make_shared(index, &config, clock, false);
+        Server {
+            shared,
+            coalescer: None,
+            workers: Vec::new(),
+            manual: true,
+        }
+    }
+
+    fn make_shared(
+        index: Arc<dyn AnnIndex<T> + Send + Sync>,
+        config: &ServerConfig,
+        clock: Arc<dyn Clock>,
+        wall: bool,
+    ) -> Arc<Shared<T>> {
+        let dim = index.stats().dim;
+        Arc::new(Shared {
+            engine: QueryEngine::with_block_size(config.max_block),
+            index,
+            params: config.params,
+            dim: AtomicUsize::new(dim),
+            clock,
+            wall,
+            track: config.params.stats.enabled(),
+            stats: ServerStats::default(),
+            state: Mutex::new(SubmitState {
+                coal: Coalescer::new(config.max_block),
+                accepting: true,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Longest the coalescer thread naps before re-reading a **non-wall**
+    /// clock while requests are pending, so out-of-band clock advances
+    /// are observed promptly. Wall-clock servers are not capped: they
+    /// sleep exactly until the next pending deadline (and any submit
+    /// wakes the condvar early).
+    pub const MAX_NAP: Duration = Duration::from_millis(5);
+
+    /// Submits one query with a per-request result count (clamped to the
+    /// server's `params.k`) and a latency budget: the request is
+    /// guaranteed to be dispatched once `budget` has elapsed, sooner if a
+    /// full batch forms around it.
+    pub fn submit(
+        &self,
+        query: &[T],
+        k: usize,
+        budget: Duration,
+    ) -> Result<ResponseHandle, SubmitError> {
+        let dim = self.shared.dim.load(Ordering::Relaxed);
+        if dim == 0 {
+            // Index didn't report a dimensionality; the first submit fixes it.
+            self.shared
+                .dim
+                .compare_exchange(0, query.len(), Ordering::Relaxed, Ordering::Relaxed)
+                .ok();
+        }
+        let dim = self.shared.dim.load(Ordering::Relaxed);
+        if query.len() != dim {
+            return Err(SubmitError::DimMismatch {
+                expected: dim,
+                got: query.len(),
+            });
+        }
+        let now = self.shared.clock.now_ns();
+        let slot = Arc::new(Slot::new());
+        let pending = Pending {
+            query: query.into(),
+            k: k.min(self.shared.params.k),
+            submit_ns: now,
+            deadline_ns: now.saturating_add(budget.as_nanos().min(u64::MAX as u128) as u64),
+            slot: Arc::clone(&slot),
+        };
+        {
+            let mut st = self.shared.lock_state();
+            if !st.accepting {
+                return Err(SubmitError::ShuttingDown);
+            }
+            st.coal.push(pending);
+        }
+        if self.shared.track {
+            self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        // Wake the coalescer: a full block may have formed, or this
+        // request's deadline may now be the nearest wake-up.
+        self.shared.cv.notify_all();
+        Ok(ResponseHandle { slot })
+    }
+
+    /// Manual mode: runs every batch that is due at the clock's current
+    /// time, synchronously, and returns how many batches executed.
+    /// (Also works on a threaded server — it simply races the background
+    /// coalescer — but its purpose is single-stepping.)
+    pub fn pump(&self) -> usize {
+        let mut executed = 0;
+        let mut assembly = None;
+        loop {
+            let now = self.shared.clock.now_ns();
+            let decision = self.shared.lock_state().coal.poll(now);
+            match decision {
+                Poll::Dispatch(reason, reqs) => {
+                    execute_batch(
+                        &self.shared,
+                        &mut assembly,
+                        Batch {
+                            reqs,
+                            reason,
+                            dispatch_ns: now,
+                        },
+                    );
+                    executed += 1;
+                }
+                Poll::WaitUntil(_) | Poll::Idle => return executed,
+            }
+        }
+    }
+
+    /// Number of requests currently waiting in the coalescer.
+    pub fn pending(&self) -> usize {
+        self.shared.lock_state().coal.len()
+    }
+
+    /// Snapshot of the aggregate serving counters (all zero under
+    /// `StatsMode::Off`).
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        let s = &self.shared.stats;
+        ServerStatsSnapshot {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            full_batches: s.full_batches.load(Ordering::Relaxed),
+            deadline_batches: s.deadline_batches.load(Ordering::Relaxed),
+            drain_batches: s.drain_batches.load(Ordering::Relaxed),
+            queue_ns_total: s.queue_ns_total.load(Ordering::Relaxed),
+            max_batch: s.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: refuses new submits, drains every pending
+    /// request (each is answered exactly once), and joins the background
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.lock_state();
+            if !st.accepting && self.coalescer.is_none() && self.workers.is_empty() && !self.manual
+            {
+                return;
+            }
+            st.accepting = false;
+        }
+        self.shared.cv.notify_all();
+        if self.manual {
+            let batches = self.shared.lock_state().coal.drain_all();
+            let now = self.shared.clock.now_ns();
+            let mut assembly = None;
+            for reqs in batches {
+                execute_batch(
+                    &self.shared,
+                    &mut assembly,
+                    Batch {
+                        reqs,
+                        reason: DispatchReason::Drain,
+                        dispatch_ns: now,
+                    },
+                );
+            }
+        }
+        if let Some(h) = self.coalescer.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: VectorElem> Drop for Server<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The coalescer thread: sleep until the next trigger, hand batches to
+/// the worker channel, drain on shutdown, then close the channel (which
+/// stops the workers).
+fn run_coalescer<T: VectorElem>(shared: Arc<Shared<T>>, tx: Sender<Batch<T>>) {
+    let mut st = shared.lock_state();
+    loop {
+        if !st.accepting {
+            let batches = st.coal.drain_all();
+            drop(st);
+            for reqs in batches {
+                let dispatch_ns = shared.clock.now_ns();
+                let _ = tx.send(Batch {
+                    reqs,
+                    reason: DispatchReason::Drain,
+                    dispatch_ns,
+                });
+            }
+            // Dropping `tx` closes the channel; workers exit after the
+            // drained batches are executed.
+            return;
+        }
+        let now = shared.clock.now_ns();
+        match st.coal.poll(now) {
+            Poll::Dispatch(reason, reqs) => {
+                drop(st);
+                let dispatch_ns = shared.clock.now_ns();
+                let _ = tx.send(Batch {
+                    reqs,
+                    reason,
+                    dispatch_ns,
+                });
+                st = shared.lock_state();
+            }
+            Poll::WaitUntil(t) => {
+                let mut nap = Duration::from_nanos(t.saturating_sub(now));
+                if !shared.wall {
+                    nap = nap.min(Server::<T>::MAX_NAP);
+                }
+                let (g, _) = shared
+                    .cv
+                    .wait_timeout(st, nap)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = g;
+            }
+            Poll::Idle => {
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// A dispatch worker: pull batches off the shared channel until it
+/// closes, keeping one assembly buffer across batches.
+fn run_worker<T: VectorElem>(shared: Arc<Shared<T>>, rx: Arc<Mutex<Receiver<Batch<T>>>>) {
+    let mut assembly = None;
+    loop {
+        let msg = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        match msg {
+            Ok(batch) => execute_batch(&shared, &mut assembly, batch),
+            Err(_) => return, // channel closed: shutdown complete
+        }
+    }
+}
+
+/// Runs one batch: assemble the padded query block from the requests'
+/// heterogeneous (individually-owned) vectors, execute it on the shared
+/// engine, route row `i` back to request `i`, and account.
+fn execute_batch<T: VectorElem>(
+    shared: &Shared<T>,
+    assembly: &mut Option<PointSet<T>>,
+    batch: Batch<T>,
+) {
+    let Batch {
+        reqs,
+        reason,
+        dispatch_ns,
+    } = batch;
+    if reqs.is_empty() {
+        return;
+    }
+    let dim = reqs[0].query.len();
+    match &mut *assembly {
+        Some(ps) if ps.dim() == dim => ps.clear(),
+        slot => *slot = Some(PointSet::with_dim(dim)),
+    }
+    let queries = assembly.as_mut().expect("assembly buffer just set");
+    for r in &reqs {
+        queries.push_row(&r.query);
+    }
+    // A panicking index (or one returning the wrong row count) must not
+    // leave clients blocked in `wait` forever: fail the affected slots so
+    // the panic propagates to the waiters, and keep the worker alive for
+    // subsequent batches.
+    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared
+            .index
+            .search_batch_in(queries, &shared.params, &shared.engine)
+    }));
+    let results = match results {
+        Ok(r) => r,
+        Err(_) => {
+            *assembly = None; // the buffer may be mid-update; drop it
+            for req in &reqs {
+                req.slot.fail();
+            }
+            return;
+        }
+    };
+    debug_assert_eq!(results.len(), reqs.len());
+    let batch_size = reqs.len();
+    let mut queue_ns_sum = 0u64;
+    let mut results = results.into_iter();
+    for req in reqs {
+        let Some((mut neighbors, stats)) = results.next() else {
+            req.slot.fail();
+            continue;
+        };
+        neighbors.truncate(req.k);
+        let queue_ns = dispatch_ns.saturating_sub(req.submit_ns);
+        queue_ns_sum += queue_ns;
+        req.slot.fill(Response {
+            neighbors,
+            stats,
+            batch_size,
+            reason,
+            queue_ns,
+        });
+    }
+    if shared.track {
+        let s = &shared.stats;
+        s.completed.fetch_add(batch_size as u64, Ordering::Relaxed);
+        s.batches.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            DispatchReason::Full => &s.full_batches,
+            DispatchReason::Deadline => &s.deadline_batches,
+            DispatchReason::Drain => &s.drain_batches,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        s.queue_ns_total.fetch_add(queue_ns_sum, Ordering::Relaxed);
+        s.max_batch.fetch_max(batch_size as u64, Ordering::Relaxed);
+    }
+}

@@ -8,8 +8,10 @@
 //! * [`ann_data`] — vectors, distances, datasets, ground truth.
 //! * [`parlayann`] — the four graph-based ANNS algorithms.
 //! * [`ann_baselines`] — IVF/PQ/LSH and lock-based comparators.
+//! * [`parlayann_serve`] — the deadline-batched online serving front-end.
 
 pub use ann_baselines as baselines;
 pub use ann_data as data;
 pub use parlay;
 pub use parlayann as core;
+pub use parlayann_serve as serve;

@@ -1,0 +1,174 @@
+//! Serving concurrency stress: many client threads hammering one
+//! [`Server`] must each get back exactly the bits a direct
+//! `search_batch` produces — no lost, duplicated, or misrouted
+//! responses, regardless of how requests interleave and coalesce.
+//!
+//! ParlayANN's determinism guarantee is what makes this assertable: the
+//! engine's batched search is bit-identical to per-query search at any
+//! block size and thread count, so whatever batches the server happens
+//! to form under racing clients, response `i` must equal reference row
+//! `i` bit for bit. The CI `serve-smoke` job runs this at
+//! `PARLAY_NUM_THREADS=1` and `=8`.
+
+use parlayann_suite::core::{AnnIndex, QueryParams, VamanaIndex, VamanaParams};
+use parlayann_suite::data::bigann_like;
+use parlayann_suite::serve::{Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 1_000;
+
+#[test]
+fn eight_clients_get_bit_identical_responses() {
+    let data = bigann_like(900, 250, 4242);
+    let params = QueryParams {
+        k: 10,
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let index = Arc::new(VamanaIndex::build(
+        data.points.clone(),
+        data.metric,
+        &VamanaParams::default(),
+    ));
+
+    // Reference: the whole query set through the engine's batch path
+    // (itself proven bit-identical to per-query search).
+    let reference = index.search_batch(&data.queries, &params);
+
+    let server = Arc::new(Server::start(
+        index,
+        ServerConfig {
+            params,
+            max_block: 16,
+            workers: 2,
+        },
+    ));
+
+    // 8 clients × 1k requests each, every client walking the query set
+    // from a different offset so in-flight mixes differ constantly.
+    let nq = data.queries.len();
+    let errors: Vec<String> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for client in 0..CLIENTS {
+            let server = Arc::clone(&server);
+            let queries = &data.queries;
+            let reference = &reference;
+            joins.push(scope.spawn(move || {
+                let mut errors = Vec::new();
+                // Submit in waves so many requests are in flight at once.
+                const WAVE: usize = 50;
+                let mut sent = 0;
+                while sent < QUERIES_PER_CLIENT {
+                    let wave: Vec<(usize, _)> = (sent..(sent + WAVE).min(QUERIES_PER_CLIENT))
+                        .map(|i| {
+                            let q = (client * 31 + i * 7) % nq;
+                            let handle = server
+                                .submit(queries.point(q), 10, Duration::from_micros(200))
+                                .expect("submit while running");
+                            (q, handle)
+                        })
+                        .collect();
+                    sent += wave.len();
+                    for (q, handle) in wave {
+                        let resp = handle.wait();
+                        let (want, want_stats) = &reference[q];
+                        if resp.neighbors.len() != want.len()
+                            || resp
+                                .neighbors
+                                .iter()
+                                .zip(want)
+                                .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits())
+                        {
+                            errors.push(format!(
+                                "client {client}: query {q} diverged: {:?} != {:?}",
+                                resp.neighbors, want
+                            ));
+                        }
+                        if resp.stats != *want_stats {
+                            errors.push(format!(
+                                "client {client}: query {q} stats diverged: {:?} != {:?}",
+                                resp.stats, want_stats
+                            ));
+                        }
+                        if resp.batch_size == 0 || resp.batch_size > 16 {
+                            errors.push(format!(
+                                "client {client}: batch size {} out of bounds",
+                                resp.batch_size
+                            ));
+                        }
+                    }
+                }
+                errors
+            }));
+        }
+        joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+    });
+    assert!(
+        errors.is_empty(),
+        "{} divergences, first: {}",
+        errors.len(),
+        errors[0]
+    );
+
+    // Accounting: every request was answered exactly once (each handle
+    // yielded exactly one response above), none lost or fabricated.
+    let total = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    let mut server = Arc::into_inner(server).expect("all clients done");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+    assert!(stats.batches > 0);
+    assert!(stats.max_batch <= 16);
+    assert_eq!(
+        stats.full_batches + stats.deadline_batches + stats.drain_batches,
+        stats.batches
+    );
+}
+
+#[test]
+fn shutdown_under_load_answers_every_request() {
+    // Submit a burst, shut down immediately: the drain must answer every
+    // accepted request (bit-identically), and late submits are refused.
+    let data = bigann_like(600, 64, 99);
+    let params = QueryParams {
+        k: 5,
+        beam: 16,
+        ..QueryParams::default()
+    };
+    let index = Arc::new(VamanaIndex::build(
+        data.points.clone(),
+        data.metric,
+        &VamanaParams::default(),
+    ));
+    let reference = index.search_batch(&data.queries, &params);
+    let mut server = Server::start(
+        index,
+        ServerConfig {
+            params,
+            max_block: 8,
+            workers: 2,
+        },
+    );
+    let handles: Vec<_> = (0..data.queries.len())
+        .map(|q| {
+            // A long budget: these would sit waiting if shutdown didn't drain.
+            let h = server
+                .submit(data.queries.point(q), 5, Duration::from_secs(60))
+                .unwrap();
+            (q, h)
+        })
+        .collect();
+    server.shutdown();
+    assert!(server
+        .submit(data.queries.point(0), 5, Duration::ZERO)
+        .is_err());
+    for (q, h) in handles {
+        let resp = h.wait();
+        assert_eq!(resp.neighbors, reference[q].0, "query {q} diverged");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, data.queries.len() as u64);
+}
