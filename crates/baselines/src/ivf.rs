@@ -238,6 +238,14 @@ impl<T: VectorElem> AnnIndex<T> for IvfIndex<T> {
         }
     }
 
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
     /// Exact range search over the `params.beam` nearest posting lists
     /// (IVF's natural radius query: scan the probed lists, keep members
     /// within the radius — PQ codes are bypassed because a radius

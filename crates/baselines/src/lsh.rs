@@ -238,6 +238,14 @@ impl<T: VectorElem> AnnIndex<T> for LshIndex<T> {
             build: self.build_stats,
         }
     }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
 }
 
 #[cfg(test)]

@@ -198,6 +198,14 @@ impl<T: VectorElem> AnnIndex<T> for PqVamanaIndex<T> {
     fn stats(&self) -> IndexStats {
         IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
     }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! `shard_scaling` — fan-out/merge cost of the sharded store vs shard
+//! count.
+//!
+//! Builds the same corpus into 1/2/4/8-shard Vamana stores (hash
+//! partitioning), runs the full query set through each, and reports QPS
+//! plus **merge overhead**: the share of sharded batch time not spent in
+//! the per-shard searches themselves (id globalization + k-way merge +
+//! fan-out bookkeeping). Appends a machine-readable record to
+//! `BENCH_shard.json` (appending, like the other `BENCH_*.json` files —
+//! the perf trajectory accumulates across PRs).
+//!
+//! ```text
+//! cargo run --release -p parlayann_bench --bin shard_scaling [n] [out.json]
+//! ```
+//!
+//! Defaults: `n` = 10 000 points (or `PARLAYANN_SCALE`), output
+//! `BENCH_shard.json`.
+//!
+//! Two self-checks gate the run (non-zero exit on failure):
+//!
+//! * a 1-shard store must answer **bit-identically** to the unsharded
+//!   index it wraps (hash partitioning into one shard preserves id
+//!   order, so the builds are the same build);
+//! * every shard count's result fingerprint is recorded and the combined
+//!   `FINGERPRINT` line is diffed across `PARLAY_NUM_THREADS` settings
+//!   in CI — the merged top-k must not depend on the schedule.
+
+use ann_data::bigann_like;
+use parlayann::{AnnIndex, QueryParams, SearchStats, VamanaIndex, VamanaParams};
+use parlayann_store::build_sharded_vamana;
+use std::time::Instant;
+
+/// Order-sensitive digest over every query's `(id, dist-bits)` sequence.
+fn fingerprint(results: &[(Vec<(u32, f32)>, SearchStats)]) -> u64 {
+    results.iter().fold(0x9e3779b97f4a7c15, |acc, (res, _)| {
+        res.iter().fold(acc, |acc, &(id, d)| {
+            parlay::hash64_pair(parlay::hash64_pair(acc, id as u64), d.to_bits() as u64)
+        })
+    })
+}
+
+/// Best-of-3 wall time of `f`, in seconds.
+fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("ran at least once"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .or_else(|| {
+            std::env::var("PARLAYANN_SCALE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(10_000);
+    let out_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let threads = parlay::num_threads();
+    let data = bigann_like(n, 200.min(n / 2).max(10), 42);
+    let params = QueryParams {
+        k: 10,
+        beam: 64,
+        ..QueryParams::default()
+    };
+    let nq = data.queries.len();
+    println!("shard_scaling: sharded Vamana, n = {n}, {nq} queries, {threads} threads");
+
+    // Unsharded reference for the 1-shard bit-identity check.
+    let unsharded = VamanaIndex::build(data.points.clone(), data.metric, &VamanaParams::default());
+    let reference = unsharded.search_batch(&data.queries, &params);
+
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut qps = Vec::new();
+    let mut overheads = Vec::new();
+    let mut fingerprints = Vec::new();
+    let mut identical = true;
+    println!("\n  shards   build_s      qps   merge_ovh  fingerprint");
+    for &shards in &shard_counts {
+        let t0 = Instant::now();
+        let index = build_sharded_vamana(&data.points, data.metric, shards, 7);
+        let build_s = t0.elapsed().as_secs_f64();
+        assert_eq!(AnnIndex::len(&index), n);
+        assert_eq!(AnnIndex::dim(&index), data.points.dim());
+
+        // Warm once, then best-of-3 for the sharded batch.
+        let _ = index.search_batch(&data.queries, &params);
+        let (total_s, results) = time_best(|| index.search_batch(&data.queries, &params));
+        // Per-shard search time alone (same engine path, shard by shard):
+        // the difference is what the sharded layer adds — globalization,
+        // k-way merge, and fan-out bookkeeping.
+        let (shard_s, _) = time_best(|| {
+            for shard in index.shards() {
+                let _ = shard.index.search_batch(&data.queries, &params);
+            }
+        });
+        let overhead = ((total_s - shard_s) / total_s).max(0.0);
+        let fp = fingerprint(&results);
+
+        if shards == 1 {
+            let same = results.len() == reference.len()
+                && results.iter().zip(&reference).all(|((a, _), (b, _))| {
+                    a.len() == b.len()
+                        && a.iter()
+                            .zip(b)
+                            .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits())
+                });
+            identical &= same;
+            if !same {
+                eprintln!("  ERROR: 1-shard store diverged from the unsharded index");
+            }
+        }
+        println!(
+            "  {shards:>6}   {build_s:>7.2}  {:>7.0}   {:>8.1}%  0x{fp:016x}",
+            nq as f64 / total_s,
+            overhead * 100.0
+        );
+        qps.push(nq as f64 / total_s);
+        overheads.push(overhead);
+        fingerprints.push(fp);
+    }
+
+    // One schedule-independence digest over every configuration.
+    let combined = fingerprints
+        .iter()
+        .fold(0xdeadbeefu64, |acc, &fp| parlay::hash64_pair(acc, fp));
+
+    let record = parlayann_bench::JsonRecord::new("shard_scaling")
+        .str("algo", "sharded-vamana")
+        .str("partitioner", "hash")
+        .uint("n", n as u64)
+        .uint("queries", nq as u64)
+        .uint("threads", threads as u64)
+        .uint("beam", params.beam as u64)
+        .uint_list("shards", shard_counts.iter().map(|&s| s as u64))
+        .float_list("qps", qps.iter().copied(), 1)
+        .float_list("merge_overhead", overheads.iter().copied(), 4)
+        .str("fingerprint", &format!("0x{combined:016x}"))
+        .bool("identical", identical)
+        .finish();
+    parlayann_bench::append_record(&out_path, &record).expect("failed to write bench record");
+    println!("\n  appended record to {out_path}");
+    println!("FINGERPRINT 0x{combined:016x}");
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

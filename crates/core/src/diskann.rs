@@ -224,6 +224,14 @@ impl<T: VectorElem + BinaryElem> AnnIndex<T> for VamanaIndex<T> {
         IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
     }
 
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
     /// Query-blocked batched search over the graph (bit-identical to
     /// per-query [`VamanaIndex::search`]).
     fn search_batch_blocked(

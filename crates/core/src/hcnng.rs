@@ -353,6 +353,14 @@ impl<T: VectorElem + BinaryElem> AnnIndex<T> for HcnngIndex<T> {
         IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
     }
 
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
     /// Query-blocked batched search over the union-of-MSTs graph.
     fn search_batch_blocked(
         &self,

@@ -424,6 +424,14 @@ impl<T: VectorElem> AnnIndex<T> for HnswIndex<T> {
         stats
     }
 
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
     /// Batched search: the cheap upper-layer descents run per query (the
     /// express lanes are tiny), then the bottom layer — where all the work
     /// is — runs query-blocked with each query's own entry vertex.

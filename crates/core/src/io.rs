@@ -102,6 +102,15 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Prefixes an error with the file it came from, preserving its kind. A
+/// corrupt shard inside a manifest directory is diagnosable only if the
+/// error names which of the N sibling files failed and what was found
+/// there, so every per-file decode error passes through here (public:
+/// the store crate's manifest loader applies the same convention).
+pub fn with_path(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
 /// Writes a graph's adjacency (used standalone and by index save).
 pub fn write_graph(w: &mut impl Write, graph: &FlatGraph) -> io::Result<()> {
     w.write_all(&(graph.len() as u64).to_le_bytes())?;
@@ -204,11 +213,20 @@ pub struct FlatIndexParts<T> {
 /// pre-kind-tag writer (v1 → Vamana). Unknown versions and kind tags are
 /// [`io::ErrorKind::InvalidData`] errors.
 pub fn read_flat_index<T: BinaryElem>(path: &Path) -> io::Result<FlatIndexParts<T>> {
-    let mut r = BufReader::new(File::open(path)?);
+    let mut r = BufReader::new(File::open(path).map_err(|e| with_path(path, e))?);
+    read_flat_index_from(&mut r).map_err(|e| with_path(path, e))
+}
+
+/// [`read_flat_index`] against an already-open reader (no path context —
+/// the public entry point adds it).
+fn read_flat_index_from<T: BinaryElem>(mut r: impl Read) -> io::Result<FlatIndexParts<T>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(invalid("bad magic"));
+        return Err(invalid(format!(
+            "bad magic {:02x?} (expected {MAGIC:02x?} — not a ParlayANN index file)",
+            magic
+        )));
     }
     let version = read_u32(&mut r)?;
     let (kind, metric) = match version {
@@ -337,7 +355,9 @@ impl<T: BinaryElem> PyNNDescentIndex<T> {
 /// dispatching on the file's kind tag — the load half of the trait's
 /// persistence hook. Kinds without a persistent form (HNSW, the
 /// baselines) cannot appear in well-formed files and are rejected.
-pub fn load_index<T: BinaryElem>(path: &Path) -> io::Result<Box<dyn AnnIndex<T>>> {
+/// Returned boxes are `Send + Sync` so loaders can hand them straight to
+/// serving layers and sharded stores.
+pub fn load_index<T: BinaryElem>(path: &Path) -> io::Result<Box<dyn AnnIndex<T> + Send + Sync>> {
     let parts = read_flat_index::<T>(path)?;
     Ok(match parts.kind {
         IndexKind::Vamana => {
@@ -369,7 +389,8 @@ pub fn load_index<T: BinaryElem>(path: &Path) -> io::Result<Box<dyn AnnIndex<T>>
         )),
         other => {
             return Err(invalid(format!(
-                "index kind {} has no persistent form",
+                "{}: index kind {} has no persistent form",
+                path.display(),
                 other.name()
             )))
         }
@@ -574,5 +595,34 @@ mod tests {
         std::fs::write(&path, b"NOPE....").unwrap();
         assert!(VamanaIndex::<u8>::load(&path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decode_errors_name_the_offending_file() {
+        // In a directory of shards, a corrupt member must be identifiable
+        // from the error alone: path + what was found there.
+        let path = tmp("which-shard.pann");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_index::<u8>(&path).err().expect("version 9 must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(path.to_str().unwrap()) && msg.contains("version 9"),
+            "error must name path and found version: {msg}"
+        );
+        // Truncation (UnexpectedEof) keeps its kind but gains the path.
+        std::fs::write(&path, &MAGIC[..2]).unwrap();
+        let err = load_index::<u8>(&path).err().expect("truncation must fail");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains(path.to_str().unwrap()), "{err}");
+        // A missing file names itself too.
+        std::fs::remove_file(&path).unwrap();
+        let err = load_index::<u8>(&path)
+            .err()
+            .expect("missing file must fail");
+        assert!(err.to_string().contains(path.to_str().unwrap()), "{err}");
     }
 }

@@ -408,6 +408,14 @@ impl<T: VectorElem + BinaryElem> AnnIndex<T> for PyNNDescentIndex<T> {
         IndexStats::for_graph(&self.graph, self.points.dim(), self.build_stats)
     }
 
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
     /// Query-blocked batched search from the shared entry sample.
     fn search_batch_blocked(
         &self,

@@ -63,6 +63,9 @@ pub enum IndexKind {
     Lsh,
     /// PQ-compressed Vamana (`ann_baselines::PqVamanaIndex`).
     PqVamana,
+    /// Multi-shard store (`parlayann_store::ShardedIndex`) — persisted as
+    /// a manifest *directory*, not a single kind-tagged file.
+    Sharded,
     /// Anything else (ad-hoc wrappers, test doubles).
     Custom,
 }
@@ -78,6 +81,7 @@ impl IndexKind {
             IndexKind::Ivf => 4,
             IndexKind::Lsh => 5,
             IndexKind::PqVamana => 6,
+            IndexKind::Sharded => 7,
             IndexKind::Custom => 255,
         }
     }
@@ -92,6 +96,7 @@ impl IndexKind {
             4 => IndexKind::Ivf,
             5 => IndexKind::Lsh,
             6 => IndexKind::PqVamana,
+            7 => IndexKind::Sharded,
             255 => IndexKind::Custom,
             _ => return None,
         })
@@ -107,6 +112,7 @@ impl IndexKind {
             IndexKind::Ivf => "ivf",
             IndexKind::Lsh => "lsh",
             IndexKind::PqVamana => "pq-vamana",
+            IndexKind::Sharded => "sharded",
             IndexKind::Custom => "custom",
         }
     }
@@ -173,6 +179,25 @@ pub trait AnnIndex<T: VectorElem>: Sync {
     /// Structural summary (size, degree, hierarchy) of the built index.
     fn stats(&self) -> IndexStats {
         IndexStats::default()
+    }
+
+    /// Number of indexed points. The default derives it from
+    /// [`stats`](Self::stats) (which may walk the graph to count edges);
+    /// every concrete index overrides it with an O(1) field read.
+    fn len(&self) -> usize {
+        self.stats().points
+    }
+
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality. Same default/override convention as
+    /// [`len`](Self::len). Routers and manifest writers key on this; 0
+    /// means "unknown" (an index type that cannot report it).
+    fn dim(&self) -> usize {
+        self.stats().dim
     }
 
     /// Searches every query of `queries`, batch-parallel, returning
@@ -1012,6 +1037,7 @@ mod tests {
             IndexKind::Ivf,
             IndexKind::Lsh,
             IndexKind::PqVamana,
+            IndexKind::Sharded,
             IndexKind::Custom,
         ] {
             assert_eq!(IndexKind::from_tag(kind.tag()), Some(kind));

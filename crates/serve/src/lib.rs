@@ -36,7 +36,7 @@ pub mod server;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use coalescer::{Coalescer, Deadlined, DispatchReason, Poll};
 pub use server::{
-    Response, ResponseHandle, Server, ServerConfig, ServerStatsSnapshot, SubmitError,
+    ReloadError, Response, ResponseHandle, Server, ServerConfig, ServerStatsSnapshot, SubmitError,
 };
 
 #[cfg(test)]
@@ -233,6 +233,60 @@ mod tests {
         assert_eq!(server.stats(), ServerStatsSnapshot::default());
         // Results are unaffected by the stats mode.
         assert_eq!(resp.neighbors.len(), 2);
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_results_deterministically() {
+        // Two grids with different spacing: the same query gets different
+        // (but individually deterministic) answers per generation.
+        let index_a = tiny_index();
+        let rows: Vec<Vec<f32>> = (0..64)
+            .map(|i| vec![(i % 8) as f32 * 2.0, (i / 8) as f32 * 2.0])
+            .collect();
+        let index_b = Arc::new(VamanaIndex::build(
+            PointSet::from_rows(&rows),
+            ann_data::Metric::SquaredEuclidean,
+            &VamanaParams::default(),
+        ));
+        let params = QueryParams {
+            k: 4,
+            beam: 8,
+            ..QueryParams::default()
+        };
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(index_a.clone(), config(8), clock);
+        assert_eq!(server.generation(), 0);
+
+        let h = server.submit(&[3.0, 3.0], 4, Duration::ZERO).unwrap();
+        server.pump();
+        let r = h.try_take().unwrap();
+        assert_eq!(r.generation, 0);
+        assert_eq!(r.neighbors, index_a.search(&[3.0, 3.0], &params).0);
+
+        assert_eq!(server.reload(index_b.clone()).unwrap(), 1);
+        assert_eq!(server.generation(), 1);
+        let h = server.submit(&[3.0, 3.0], 4, Duration::ZERO).unwrap();
+        server.pump();
+        let r = h.try_take().unwrap();
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.neighbors, index_b.search(&[3.0, 3.0], &params).0);
+
+        // A snapshot with the wrong dimensionality is refused and the
+        // served generation is untouched.
+        let rows3: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32, 0.0, 1.0]).collect();
+        let index_c = Arc::new(VamanaIndex::build(
+            PointSet::from_rows(&rows3),
+            ann_data::Metric::SquaredEuclidean,
+            &VamanaParams::default(),
+        ));
+        assert_eq!(
+            server.reload(index_c).unwrap_err(),
+            ReloadError::DimMismatch {
+                expected: 2,
+                got: 3
+            }
+        );
+        assert_eq!(server.generation(), 1);
     }
 
     #[test]

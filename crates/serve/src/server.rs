@@ -82,6 +82,31 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Why [`Server::reload`] refused a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReloadError {
+    /// The new index's dimensionality differs from the one being served
+    /// — queued and future queries would be unanswerable against it.
+    DimMismatch {
+        /// Dimensionality currently served.
+        expected: usize,
+        /// Dimensionality of the rejected snapshot.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::DimMismatch { expected, got } => {
+                write!(f, "snapshot has {got} dimensions, server serves {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
 /// One answered request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
@@ -96,6 +121,11 @@ pub struct Response {
     pub reason: DispatchReason,
     /// Nanoseconds this request waited in the coalescer before dispatch.
     pub queue_ns: u64,
+    /// Which index snapshot answered (0 until the first
+    /// [`Server::reload`]; each reload increments it). A batch executes
+    /// entirely against one generation — the one current when execution
+    /// began — so all responses of a batch share this value.
+    pub generation: u64,
 }
 
 /// Delivery state of one request's slot.
@@ -282,9 +312,28 @@ struct SubmitState<T> {
     accepting: bool,
 }
 
+/// The served snapshot: the index plus its generation number.
+/// [`Server::reload`] swaps the whole struct; a worker clones it (two
+/// words under a briefly-held lock) at the start of each batch, so every
+/// batch runs against exactly one generation and old generations drain
+/// out via `Arc` refcounts as their last in-flight batches finish.
+struct CurrentIndex<T: VectorElem> {
+    index: Arc<dyn AnnIndex<T> + Send + Sync>,
+    generation: u64,
+}
+
+impl<T: VectorElem> Clone for CurrentIndex<T> {
+    fn clone(&self) -> Self {
+        CurrentIndex {
+            index: Arc::clone(&self.index),
+            generation: self.generation,
+        }
+    }
+}
+
 /// Everything the submit path, coalescer thread, and workers share.
 struct Shared<T: VectorElem> {
-    index: Arc<dyn AnnIndex<T> + Send + Sync>,
+    index: Mutex<CurrentIndex<T>>,
     engine: QueryEngine<T>,
     params: QueryParams,
     /// Index dimensionality; 0 until learned from the first submit (for
@@ -404,10 +453,13 @@ impl<T: VectorElem> Server<T> {
         clock: Arc<dyn Clock>,
         wall: bool,
     ) -> Arc<Shared<T>> {
-        let dim = index.stats().dim;
+        let dim = index.dim();
         Arc::new(Shared {
             engine: QueryEngine::with_block_size(config.max_block),
-            index,
+            index: Mutex::new(CurrentIndex {
+                index,
+                generation: 0,
+            }),
             params: config.params,
             dim: AtomicUsize::new(dim),
             clock,
@@ -510,6 +562,63 @@ impl<T: VectorElem> Server<T> {
     /// Number of requests currently waiting in the coalescer.
     pub fn pending(&self) -> usize {
         self.shared.lock_state().coal.len()
+    }
+
+    /// Swaps the served index snapshot under live traffic, returning the
+    /// new generation number. The router-mode admin call: build (or
+    /// load) the new snapshot off the serving path — e.g.
+    /// `parlayann_store::load_manifest` — then hand it here; the swap
+    /// itself is two pointer writes under a briefly-held lock.
+    ///
+    /// Delivery is unaffected: every accepted request is still answered
+    /// exactly once. Batches already executing finish against the old
+    /// generation (their responses carry its number); batches dispatched
+    /// after the swap run against the new one. The old snapshot is freed
+    /// when its last in-flight batch drops its `Arc`.
+    ///
+    /// A snapshot whose dimensionality differs from the served one is
+    /// rejected (queued queries could not run against it). Indexes that
+    /// report dimension 0 ("unknown") are accepted and leave the
+    /// server's submit-side dim check as-is.
+    pub fn reload(
+        &self,
+        new_index: Arc<dyn AnnIndex<T> + Send + Sync>,
+    ) -> Result<u64, ReloadError> {
+        let new_dim = new_index.dim();
+        if new_dim != 0 {
+            // Check-and-adopt must be one atomic step: a concurrent
+            // submit can fix an unknown dim between a plain load and the
+            // swap, which would let a mismatched snapshot through. The
+            // CAS either adopts `new_dim` (dim was unknown) or returns
+            // the settled value to compare against.
+            match self
+                .shared
+                .dim
+                .compare_exchange(0, new_dim, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {}
+                Err(expected) if expected == new_dim => {}
+                Err(expected) => {
+                    return Err(ReloadError::DimMismatch {
+                        expected,
+                        got: new_dim,
+                    });
+                }
+            }
+        }
+        let mut cur = self.shared.index.lock().unwrap_or_else(|e| e.into_inner());
+        cur.index = new_index;
+        cur.generation += 1;
+        Ok(cur.generation)
+    }
+
+    /// The generation currently being served (0 before any reload).
+    pub fn generation(&self) -> u64 {
+        self.shared
+            .index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .generation
     }
 
     /// Snapshot of the aggregate serving counters (all zero under
@@ -661,12 +770,20 @@ fn execute_batch<T: VectorElem>(
     for r in &reqs {
         queries.push_row(&r.query);
     }
+    // Pin this batch's snapshot: one clone under a briefly-held lock.
+    // The whole batch executes against it even if a reload lands
+    // mid-flight, and its responses are stamped with its generation.
+    let current = shared
+        .index
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
     // A panicking index (or one returning the wrong row count) must not
     // leave clients blocked in `wait` forever: fail the affected slots so
     // the panic propagates to the waiters, and keep the worker alive for
     // subsequent batches.
     let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared
+        current
             .index
             .search_batch_in(queries, &shared.params, &shared.engine)
     }));
@@ -698,6 +815,7 @@ fn execute_batch<T: VectorElem>(
             batch_size,
             reason,
             queue_ns,
+            generation: current.generation,
         });
     }
     if shared.track {

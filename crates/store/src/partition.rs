@@ -1,0 +1,198 @@
+//! Deterministic corpus → shard assignment.
+//!
+//! A sharded store is only as reproducible as its partitioner: the same
+//! corpus and configuration must put every point in the same shard on
+//! every machine and at every thread count, or saved manifests stop being
+//! interchangeable. Both partitioners here are pure functions of
+//! `(points, config)`:
+//!
+//! * [`Partitioner::Hash`] — shard of global id `i` is
+//!   `hash64(seed ^ i) % shards`. Content-oblivious, O(n), balanced to
+//!   within the usual multinomial deviation. The right default when
+//!   shards exist for capacity rather than locality (LANNS calls this
+//!   "random segmentation" and finds it competitive at scale).
+//! * [`Partitioner::KMeans`] — train a `shards`-centroid codebook with
+//!   [`ann_baselines::kmeans`] (itself deterministic at any thread
+//!   count), then assign points **balanced**: ids in increasing order,
+//!   each to its nearest centroid that still has capacity
+//!   `ceil(n / shards)`, falling through to the next-nearest otherwise.
+//!   Content-aware shards make per-shard graphs denser in-cluster, and
+//!   the capacity bound keeps the fan-out work even — an unbalanced
+//!   shard would dominate every batch's critical path.
+
+use ann_baselines::kmeans;
+use ann_data::{PointSet, VectorElem};
+use parlay::hash64;
+
+/// How a corpus is split across shards. See the module docs for the
+/// determinism and balance arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioner {
+    /// `shard(i) = hash64(seed ^ i) % shards` — content-oblivious.
+    Hash {
+        /// Number of shards (≥ 1).
+        shards: usize,
+        /// Hash seed (varying it re-deals the corpus).
+        seed: u64,
+    },
+    /// Balanced nearest-centroid assignment over a k-means codebook.
+    KMeans {
+        /// Number of shards (≥ 1) — the codebook size.
+        shards: usize,
+        /// Lloyd iterations for codebook training.
+        iters: usize,
+        /// Training sample bound (points, chosen by hash order).
+        sample: usize,
+        /// Seed for sampling and initialization.
+        seed: u64,
+    },
+}
+
+impl Partitioner {
+    /// A hash partitioner over `shards` shards.
+    pub fn hash(shards: usize, seed: u64) -> Partitioner {
+        Partitioner::Hash {
+            shards: shards.max(1),
+            seed,
+        }
+    }
+
+    /// A balanced k-means partitioner with the default training budget
+    /// (8 Lloyd iterations over up to 10k sampled points).
+    pub fn kmeans(shards: usize, seed: u64) -> Partitioner {
+        Partitioner::KMeans {
+            shards: shards.max(1),
+            iters: 8,
+            sample: 10_000,
+            seed,
+        }
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        match *self {
+            Partitioner::Hash { shards, .. } | Partitioner::KMeans { shards, .. } => shards,
+        }
+    }
+
+    /// Short display name ("hash" / "kmeans").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Partitioner::Hash { .. } => "hash",
+            Partitioner::KMeans { .. } => "kmeans",
+        }
+    }
+
+    /// Assigns every point to a shard: `out[i] ∈ 0..shards` is the shard
+    /// of global id `i`. Deterministic for fixed `(points, self)` at any
+    /// thread count.
+    pub fn assign<T: VectorElem>(&self, points: &PointSet<T>) -> Vec<u32> {
+        match *self {
+            Partitioner::Hash { shards, seed } => parlay::tabulate(points.len(), |i| {
+                (hash64(seed ^ (i as u64)) % shards as u64) as u32
+            }),
+            Partitioner::KMeans {
+                shards,
+                iters,
+                sample,
+                seed,
+            } => balanced_kmeans_assign(points, shards, iters, sample, seed),
+        }
+    }
+}
+
+/// Balanced nearest-centroid assignment (see [`Partitioner::KMeans`]).
+/// Training is parallel (and deterministic); the capacity-constrained
+/// assignment pass is sequential in id order, which is exactly what makes
+/// it a pure function of the input.
+fn balanced_kmeans_assign<T: VectorElem>(
+    points: &PointSet<T>,
+    shards: usize,
+    iters: usize,
+    sample: usize,
+    seed: u64,
+) -> Vec<u32> {
+    let n = points.len();
+    let shards = shards.min(n.max(1));
+    let model = kmeans::train(points, shards, iters, sample, seed);
+    let capacity = n.div_ceil(model.k());
+    let mut remaining = vec![capacity; model.k()];
+    // Rank all centroids per point in parallel, then fill sequentially.
+    let ranked: Vec<Vec<(u32, f32)>> =
+        parlay::tabulate(n, |i| model.rank_all(&kmeans::to_f32_vec(points.point(i))));
+    ranked
+        .iter()
+        .map(|prefs| {
+            let (c, _) = prefs
+                .iter()
+                .find(|&&(c, _)| remaining[c as usize] > 0)
+                .expect("total capacity covers every point");
+            remaining[*c as usize] -= 1;
+            *c
+        })
+        .collect()
+}
+
+/// Groups an assignment into per-shard global-id lists: `out[s]` holds
+/// the global ids of shard `s`, in increasing order (the shard's local id
+/// order — local id `j` of shard `s` is point `out[s][j]`).
+pub fn shard_members(assignment: &[u32], shards: usize) -> Vec<Vec<u32>> {
+    let mut members = vec![Vec::new(); shards];
+    for (i, &s) in assignment.iter().enumerate() {
+        members[s as usize].push(i as u32);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::bigann_like;
+
+    #[test]
+    fn hash_assignment_covers_and_roughly_balances() {
+        let d = bigann_like(2_000, 1, 7);
+        let p = Partitioner::hash(4, 99);
+        let a = p.assign(&d.points);
+        assert_eq!(a.len(), 2_000);
+        let members = shard_members(&a, 4);
+        for (s, m) in members.iter().enumerate() {
+            // Multinomial balance: each shard within 2x of the mean.
+            assert!(
+                m.len() > 250 && m.len() < 1_000,
+                "shard {s} has {} members",
+                m.len()
+            );
+        }
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), 2_000);
+    }
+
+    #[test]
+    fn kmeans_assignment_is_balanced_to_capacity() {
+        let d = bigann_like(1_000, 1, 11);
+        let p = Partitioner::kmeans(4, 5);
+        let a = p.assign(&d.points);
+        let members = shard_members(&a, 4);
+        let cap = 1_000usize.div_ceil(4);
+        for m in &members {
+            assert!(m.len() <= cap, "shard over capacity: {}", m.len());
+        }
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), 1_000);
+    }
+
+    #[test]
+    fn assignments_are_deterministic_across_thread_counts() {
+        let d = bigann_like(1_200, 1, 3);
+        for p in [Partitioner::hash(3, 1), Partitioner::kmeans(3, 1)] {
+            let a = parlay::with_threads(1, || p.assign(&d.points));
+            let b = parlay::with_threads(4, || p.assign(&d.points));
+            assert_eq!(a, b, "{p:?} not thread-deterministic");
+        }
+    }
+
+    #[test]
+    fn shard_counts_clamp_to_at_least_one() {
+        assert_eq!(Partitioner::hash(0, 1).shards(), 1);
+        assert_eq!(Partitioner::kmeans(0, 1).shards(), 1);
+    }
+}

@@ -1,0 +1,447 @@
+//! The sharded index: fan-out search over N sub-indexes with a
+//! deterministic merge.
+//!
+//! A [`ShardedIndex`] owns `N` shards, each an `Arc<dyn AnnIndex>` over a
+//! disjoint slice of the corpus plus the local→global id map produced by
+//! the [`Partitioner`](crate::Partitioner). It implements [`AnnIndex`]
+//! itself, so everything that serves, benches, or persists a single index
+//! works unchanged on a sharded one — including in-memory nesting (a
+//! shard may itself be sharded; persistence requires one level — see
+//! [`crate::manifest`]).
+//!
+//! ## Merge determinism
+//!
+//! Every query fans out to all shards; each shard reports its local
+//! top-k (global ids substituted); the per-shard lists are combined by a
+//! k-way merge ordered by **(distance, global id)**. This is a total
+//! order: a given global id lives in exactly one shard and its distance
+//! to the query is a pure function of `(query, vector)` — the same
+//! kernel bits no matter which shard holds it — so no two merge keys are
+//! ever equal and the merged sequence is unique. Consequently results
+//! are bit-identical at any thread count **and any shard enumeration
+//! order**, which the property tests assert by permuting shards.
+//!
+//! Shards that are exact ([`ExactIndex`](crate::ExactIndex)) compose
+//! losslessly: the union of per-shard exact top-k contains the global
+//! exact top-k, so sharded-exact ≡ whole-corpus-exact, bitwise. Graph
+//! shards keep their approximate semantics per shard; recall of the
+//! merged result is in practice ≥ the unsharded index (each shard scans
+//! its beam over a smaller corpus — the recall-floor suite pins this).
+
+use crate::partition::{shard_members, Partitioner};
+use ann_data::{PointSet, VectorElem};
+use parlayann::{
+    AnnIndex, IndexKind, IndexStats, QueryEngine, QueryParams, RangeParams, SearchStats,
+};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// One shard: a sub-index plus its local→global id map.
+pub struct Shard<T> {
+    /// The sub-index over this shard's points (local ids `0..len`).
+    pub index: Arc<dyn AnnIndex<T> + Send + Sync>,
+    /// `globals[local] = global` — increasing when produced by
+    /// [`ShardedIndex::build_with`] (members are gathered in id order).
+    pub globals: Vec<u32>,
+}
+
+/// A sharded vector store presenting N sub-indexes as one [`AnnIndex`].
+/// See the module docs for the merge-determinism argument.
+pub struct ShardedIndex<T> {
+    shards: Vec<Shard<T>>,
+    partitioner: Partitioner,
+    dim: usize,
+    len: usize,
+}
+
+/// The `(distance, global id)` merge order (matches the query layer's
+/// internal ordering; ids are unique across shards, so this is total).
+#[inline]
+fn cmp_dist(a: &(u32, f32), b: &(u32, f32)) -> Ordering {
+    a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
+
+/// Deterministic k-way merge of per-shard result lists (each sorted by
+/// `(distance, id)`), yielding the first `k` of the combined order.
+/// Cursor-based: each step takes the least head among the lists — with
+/// unique keys the outcome is independent of list order. Accepts any
+/// borrowed list shape (`&[Vec<_>]`, `&[&[_]]`) so per-query merges
+/// never need to clone shard results.
+pub fn merge_topk<L: AsRef<[(u32, f32)]>>(lists: &[L], k: usize) -> Vec<(u32, f32)> {
+    let mut cursors = vec![0usize; lists.len()];
+    let total: usize = lists.iter().map(|l| l.as_ref().len()).sum();
+    let mut out = Vec::with_capacity(k.min(total));
+    while out.len() < k {
+        let mut best: Option<(usize, (u32, f32))> = None;
+        for (s, list) in lists.iter().enumerate() {
+            if let Some(&head) = list.as_ref().get(cursors[s]) {
+                if best.is_none_or(|(_, b)| cmp_dist(&head, &b) == Ordering::Less) {
+                    best = Some((s, head));
+                }
+            }
+        }
+        let Some((s, head)) = best else { break };
+        cursors[s] += 1;
+        out.push(head);
+    }
+    out
+}
+
+/// Substitutes global ids into a shard-local result list in place.
+fn globalize(res: &mut [(u32, f32)], globals: &[u32]) {
+    for r in res.iter_mut() {
+        r.0 = globals[r.0 as usize];
+    }
+}
+
+/// Sums per-shard stats (integer counters — order-independent).
+fn merge_stats(per_shard: impl IntoIterator<Item = SearchStats>) -> SearchStats {
+    let mut total = SearchStats::default();
+    for s in per_shard {
+        total.merge(&s);
+    }
+    total
+}
+
+impl<T: VectorElem> ShardedIndex<T> {
+    /// Partitions `points` with `partitioner` and builds one sub-index
+    /// per shard via `build_shard(shard_idx, shard_points)`. Shards the
+    /// partitioner left empty are skipped (k-means can starve a
+    /// centroid). Shard builds run sequentially — each build is itself
+    /// parallel on the pool — so the result is deterministic whenever
+    /// `build_shard` is.
+    pub fn build_with<F>(points: &PointSet<T>, partitioner: Partitioner, build_shard: F) -> Self
+    where
+        F: Fn(usize, PointSet<T>) -> Arc<dyn AnnIndex<T> + Send + Sync>,
+    {
+        let assignment = partitioner.assign(points);
+        let members = shard_members(&assignment, partitioner.shards());
+        let shards: Vec<Shard<T>> = members
+            .into_iter()
+            .enumerate()
+            .filter(|(_, globals)| !globals.is_empty())
+            .map(|(s, globals)| {
+                let index = build_shard(s, points.gather(&globals));
+                assert_eq!(
+                    index.len(),
+                    globals.len(),
+                    "shard {s}: built index size diverges from its member count"
+                );
+                Shard { index, globals }
+            })
+            .collect();
+        Self::from_shards(shards, partitioner, points.dim())
+    }
+
+    /// Assembles a sharded index from prebuilt shards (manifest load,
+    /// tests, external construction). Validates that the shards' global
+    /// ids exactly cover `0..total` — a wrong id map would silently
+    /// corrupt every merge.
+    pub fn from_shards(shards: Vec<Shard<T>>, partitioner: Partitioner, dim: usize) -> Self {
+        let len: usize = shards.iter().map(|s| s.globals.len()).sum();
+        let mut seen = vec![false; len];
+        for (s, shard) in shards.iter().enumerate() {
+            assert_eq!(
+                shard.index.len(),
+                shard.globals.len(),
+                "shard {s}: index/id-map size mismatch"
+            );
+            for &g in &shard.globals {
+                assert!(
+                    (g as usize) < len && !std::mem::replace(&mut seen[g as usize], true),
+                    "shard {s}: global id {g} out of range or duplicated"
+                );
+            }
+        }
+        ShardedIndex {
+            shards,
+            partitioner,
+            dim,
+            len,
+        }
+    }
+
+    /// The shards, in storage order.
+    pub fn shards(&self) -> &[Shard<T>] {
+        &self.shards
+    }
+
+    /// Decomposes into the shard vector (re-assemble any permutation via
+    /// [`from_shards`](Self::from_shards) — results are order-invariant).
+    pub fn into_shards(self) -> Vec<Shard<T>> {
+        self.shards
+    }
+
+    /// The partitioner this index was built (or loaded) with.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Fan-out + merge over already-computed per-shard batch results.
+    fn merge_batches(
+        &self,
+        per_shard: Vec<Vec<(Vec<(u32, f32)>, SearchStats)>>,
+        nq: usize,
+        k: usize,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        parlay::tabulate(nq, |q| {
+            let lists: Vec<&[(u32, f32)]> = per_shard
+                .iter()
+                .map(|shard_res| shard_res[q].0.as_slice())
+                .collect();
+            let stats = merge_stats(per_shard.iter().map(|shard_res| shard_res[q].1));
+            (merge_topk(&lists, k), stats)
+        })
+    }
+
+    /// Runs `run_shard` on every shard (sequentially — the per-shard
+    /// batch path is already parallel) and globalizes the ids.
+    fn fan_out_batch<F>(&self, run_shard: F) -> Vec<Vec<(Vec<(u32, f32)>, SearchStats)>>
+    where
+        F: Fn(&Shard<T>) -> Vec<(Vec<(u32, f32)>, SearchStats)>,
+    {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mut res = run_shard(shard);
+                for (r, _) in &mut res {
+                    globalize(r, &shard.globals);
+                }
+                res
+            })
+            .collect()
+    }
+}
+
+impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
+    /// Single-query fan-out: shards searched in parallel on the pool,
+    /// merged by `(distance, global id)`.
+    fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
+        let per_shard: Vec<(Vec<(u32, f32)>, SearchStats)> =
+            parlay::tabulate(self.shards.len(), |s| {
+                let shard = &self.shards[s];
+                let (mut res, stats) = shard.index.search(query, params);
+                globalize(&mut res, &shard.globals);
+                (res, stats)
+            });
+        let (lists, stats): (Vec<_>, Vec<_>) = per_shard.into_iter().unzip();
+        (merge_topk(&lists, params.k), merge_stats(stats))
+    }
+
+    fn name(&self) -> String {
+        format!("sharded[{}×{}]", self.shards.len(), self.partitioner.name())
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Sharded
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut out = IndexStats {
+            points: self.len,
+            dim: self.dim,
+            edges: 0,
+            max_degree: 0,
+            layers: self.shards.len(),
+            build: Default::default(),
+        };
+        for shard in &self.shards {
+            let s = shard.index.stats();
+            out.edges += s.edges;
+            out.max_degree = out.max_degree.max(s.max_degree);
+            out.build.seconds += s.build.seconds;
+            out.build.dist_comps += s.build.dist_comps;
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Batched fan-out: each shard runs the whole query set through its
+    /// own (query-blocked, batch-parallel) path, then per-query merges
+    /// run in parallel.
+    fn search_batch_blocked(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        block_size: usize,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        let per_shard = self.fan_out_batch(|shard| {
+            shard
+                .index
+                .search_batch_blocked(queries, params, block_size)
+        });
+        self.merge_batches(per_shard, queries.len(), params.k)
+    }
+
+    /// Serving path: the fan-out happens **inside** the dispatched batch,
+    /// every shard sharing the caller's long-lived engine (one scratch
+    /// pool across shards and batches).
+    fn search_batch_in(
+        &self,
+        queries: &PointSet<T>,
+        params: &QueryParams,
+        engine: &QueryEngine<T>,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        let per_shard =
+            self.fan_out_batch(|shard| shard.index.search_batch_in(queries, params, engine));
+        self.merge_batches(per_shard, queries.len(), params.k)
+    }
+
+    /// Range fan-out: shards report independently (parallel), and the
+    /// disjoint hit lists merge under the same total order (no `k`
+    /// truncation — everything within the radius is reported).
+    fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
+        let per_shard: Vec<(Vec<(u32, f32)>, SearchStats)> =
+            parlay::tabulate(self.shards.len(), |s| {
+                let shard = &self.shards[s];
+                let (mut res, stats) = shard.index.range_search(query, params);
+                globalize(&mut res, &shard.globals);
+                (res, stats)
+            });
+        let (lists, stats): (Vec<_>, Vec<_>) = per_shard.into_iter().unzip();
+        (merge_topk(&lists, usize::MAX), merge_stats(stats))
+    }
+
+    /// Persists as a manifest **directory** at `path` (see
+    /// [`crate::manifest`]); reload via [`crate::load_manifest`].
+    fn save_index(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::manifest::save_manifest_dyn(path, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactIndex;
+    use ann_data::bigann_like;
+
+    fn exact_sharded(n: usize, shards: usize, seed: u64) -> (ShardedIndex<u8>, ExactIndex<u8>) {
+        let d = bigann_like(n, 1, seed);
+        let metric = d.metric;
+        let sharded = ShardedIndex::build_with(&d.points, Partitioner::hash(shards, 7), |_, ps| {
+            Arc::new(ExactIndex::new(ps, metric))
+        });
+        (sharded, ExactIndex::new(d.points, metric))
+    }
+
+    #[test]
+    fn merge_topk_takes_global_order() {
+        let lists = vec![
+            vec![(3, 0.5), (1, 2.0)],
+            vec![(0, 1.0), (2, 2.0)], // (1,2.0) vs (2,2.0): id breaks the tie
+            vec![],
+        ];
+        assert_eq!(merge_topk(&lists, 3), vec![(3, 0.5), (0, 1.0), (1, 2.0)]);
+        assert_eq!(merge_topk(&lists, 10).len(), 4);
+        assert_eq!(merge_topk(&lists, 0), vec![]);
+    }
+
+    #[test]
+    fn sharded_exact_equals_whole_corpus_exact() {
+        let (sharded, whole) = exact_sharded(600, 4, 21);
+        let d = bigann_like(600, 12, 21);
+        let params = QueryParams {
+            k: 10,
+            ..QueryParams::default()
+        };
+        for q in 0..d.queries.len() {
+            let (got, _) = sharded.search(d.queries.point(q), &params);
+            let (want, _) = whole.search(d.queries.point(q), &params);
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.0, b.0, "query {q}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_order_does_not_change_results() {
+        let (sharded, _) = exact_sharded(400, 4, 33);
+        let d = bigann_like(400, 6, 33);
+        let params = QueryParams {
+            k: 8,
+            ..QueryParams::default()
+        };
+        let baseline: Vec<_> = (0..d.queries.len())
+            .map(|q| sharded.search(d.queries.point(q), &params).0)
+            .collect();
+        // Rebuild with the shard vector reversed: same shards, different
+        // enumeration order.
+        let partitioner = sharded.partitioner();
+        let dim = AnnIndex::dim(&sharded);
+        let mut shards: Vec<Shard<u8>> = sharded
+            .shards
+            .into_iter()
+            .map(|s| Shard {
+                index: s.index,
+                globals: s.globals,
+            })
+            .collect();
+        shards.reverse();
+        let permuted = ShardedIndex::from_shards(shards, partitioner, dim);
+        for (q, want) in baseline.iter().enumerate() {
+            let (got, _) = permuted.search(d.queries.point(q), &params);
+            assert_eq!(&got, want, "query {q} changed under shard permutation");
+        }
+    }
+
+    #[test]
+    fn batch_paths_match_single_query_bitwise() {
+        let (sharded, _) = exact_sharded(500, 3, 44);
+        let d = bigann_like(500, 20, 44);
+        let params = QueryParams {
+            k: 6,
+            ..QueryParams::default()
+        };
+        let batched = sharded.search_batch(&d.queries, &params);
+        let engine = QueryEngine::new();
+        let via_engine = sharded.search_batch_in(&d.queries, &params, &engine);
+        for q in 0..d.queries.len() {
+            let (single, single_stats) = sharded.search(d.queries.point(q), &params);
+            assert_eq!(batched[q].0, single, "batch vs single, query {q}");
+            assert_eq!(batched[q].1, single_stats);
+            assert_eq!(via_engine[q].0, single, "engine vs single, query {q}");
+        }
+    }
+
+    #[test]
+    fn range_search_unions_shards() {
+        let (sharded, whole) = exact_sharded(300, 4, 55);
+        let d = bigann_like(300, 4, 55);
+        let (top, _) = whole.search(
+            d.queries.point(0),
+            &QueryParams {
+                k: 12,
+                ..QueryParams::default()
+            },
+        );
+        let rp = RangeParams {
+            radius: top[11].1,
+            ..RangeParams::default()
+        };
+        let (got, _) = sharded.range_search(d.queries.point(0), &rp);
+        let (want, _) = whole.range_search(d.queries.point(0), &rp);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range or duplicated")]
+    fn from_shards_rejects_bad_id_maps() {
+        let d = bigann_like(10, 1, 1);
+        let metric = d.metric;
+        let shard = Shard {
+            index: Arc::new(ExactIndex::new(d.points.clone(), metric))
+                as Arc<dyn AnnIndex<u8> + Send + Sync>,
+            globals: vec![0; 10], // duplicate ids
+        };
+        ShardedIndex::from_shards(vec![shard], Partitioner::hash(1, 0), d.points.dim());
+    }
+}

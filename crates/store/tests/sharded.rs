@@ -1,0 +1,194 @@
+//! Property tests for the sharded store's core guarantee: fan-out +
+//! deterministic merge is **exactly equivalent** to searching the
+//! unsharded corpus.
+//!
+//! With exact (flat-scan) shards this is assertable bitwise: every
+//! point's distance is computed by the same kernel regardless of which
+//! shard holds it, each shard reports its local top-k, and the union of
+//! local top-k's contains the global top-k; the merge's (distance,
+//! global id) total order then reproduces whole-corpus exact search bit
+//! for bit. The properties drive random corpora, shard counts, both
+//! partitioners, permuted shard orders, and two thread counts through
+//! that equivalence.
+
+use ann_data::{bigann_like, PointSet};
+use parlayann::{AnnIndex, QueryParams};
+use parlayann_store::{ExactIndex, Partitioner, Shard, ShardedIndex};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Brute-force top-k over the whole corpus, ordered by (distance, id) —
+/// the reference the sharded result must match bitwise.
+fn brute_force_topk(
+    points: &PointSet<u8>,
+    query: &[u8],
+    metric: ann_data::Metric,
+    k: usize,
+) -> Vec<(u32, f32)> {
+    let mut all: Vec<(u32, f32)> = (0..points.len())
+        .map(|i| (i as u32, ann_data::distance(query, points.point(i), metric)))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+fn exact_sharded(
+    points: &PointSet<u8>,
+    metric: ann_data::Metric,
+    partitioner: Partitioner,
+) -> ShardedIndex<u8> {
+    ShardedIndex::build_with(points, partitioner, |_, ps| {
+        Arc::new(ExactIndex::new(ps, metric)) as Arc<dyn AnnIndex<u8> + Send + Sync>
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded top-k over N exact shards == brute-force top-k over the
+    /// union, bitwise, for both partitioners.
+    #[test]
+    fn sharded_topk_equals_brute_force_over_union(
+        n in 20usize..300,
+        shards in 1usize..7,
+        k in 1usize..15,
+        seed in 0u64..1000,
+        use_kmeans in any::<bool>(),
+    ) {
+        let d = bigann_like(n, 6, seed);
+        let partitioner = if use_kmeans {
+            Partitioner::kmeans(shards, seed ^ 1)
+        } else {
+            Partitioner::hash(shards, seed ^ 2)
+        };
+        let sharded = exact_sharded(&d.points, d.metric, partitioner);
+        prop_assert_eq!(AnnIndex::len(&sharded), n);
+        let params = QueryParams { k, ..QueryParams::default() };
+        for q in 0..d.queries.len() {
+            let (got, _) = sharded.search(d.queries.point(q), &params);
+            let want = brute_force_topk(&d.points, d.queries.point(q), d.metric, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    /// The batched path agrees with single-query fan-out bitwise at every
+    /// thread count — and results are invariant under shard permutation.
+    #[test]
+    fn sharded_batch_is_thread_and_shard_order_invariant(
+        n in 30usize..250,
+        shards in 2usize..6,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let d = bigann_like(n, 8, seed);
+        let metric = d.metric;
+        let sharded = exact_sharded(&d.points, metric, Partitioner::hash(shards, seed));
+        let params = QueryParams { k, ..QueryParams::default() };
+
+        let t1 = parlay::with_threads(1, || sharded.search_batch(&d.queries, &params));
+        let t4 = parlay::with_threads(4, || sharded.search_batch(&d.queries, &params));
+        prop_assert_eq!(t1.len(), t4.len());
+        for ((a, sa), (b, sb)) in t1.iter().zip(&t4) {
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.0, y.0);
+                prop_assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+            prop_assert_eq!(sa, sb);
+        }
+
+        // Reverse the shard enumeration order: same shards, same results.
+        let partitioner = sharded.partitioner();
+        let dim = AnnIndex::dim(&sharded);
+        let mut entries: Vec<Shard<u8>> = sharded.into_shards();
+        entries.reverse();
+        let permuted = ShardedIndex::from_shards(entries, partitioner, dim);
+        let p = permuted.search_batch(&d.queries, &params);
+        for ((a, _), (b, _)) in t1.iter().zip(&p) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// A mixed-kind store (Vamana + HCNNG + PyNNDescent shards) round-trips
+/// through the manifest with bitwise-identical search results — the
+/// "manifest round-trips all shardable index kinds" acceptance check.
+#[test]
+fn manifest_roundtrips_every_shardable_kind_mixed() {
+    use parlayann::{
+        HcnngIndex, HcnngParams, PyNNDescentIndex, PyNNDescentParams, VamanaIndex, VamanaParams,
+    };
+    let d = bigann_like(900, 25, 4096);
+    let metric = d.metric;
+    let index = ShardedIndex::build_with(&d.points, Partitioner::hash(3, 5), |s, ps| match s {
+        0 => Arc::new(VamanaIndex::build(ps, metric, &VamanaParams::default()))
+            as Arc<dyn AnnIndex<u8> + Send + Sync>,
+        1 => Arc::new(HcnngIndex::build(ps, metric, &HcnngParams::default())),
+        _ => Arc::new(PyNNDescentIndex::build(
+            ps,
+            metric,
+            &PyNNDescentParams {
+                num_trees: 4,
+                max_iters: 3,
+                ..PyNNDescentParams::default()
+            },
+        )),
+    });
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("parlayann-mixed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    parlayann_store::save_manifest(&dir, &index).unwrap();
+    let loaded = parlayann_store::load_manifest::<u8>(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    assert_eq!(loaded.shards().len(), 3);
+    let kinds: Vec<_> = loaded.shards().iter().map(|s| s.index.kind()).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            parlayann::IndexKind::Vamana,
+            parlayann::IndexKind::Hcnng,
+            parlayann::IndexKind::PyNNDescent,
+        ]
+    );
+    let params = QueryParams {
+        k: 10,
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let want = index.search_batch(&d.queries, &params);
+    let got = loaded.search_batch(&d.queries, &params);
+    for (q, ((w, ws), (g, gs))) in want.iter().zip(&got).enumerate() {
+        assert_eq!(w.len(), g.len(), "query {q}");
+        for (a, b) in w.iter().zip(g) {
+            assert_eq!(a.0, b.0, "query {q}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "query {q}");
+        }
+        assert_eq!(ws, gs, "query {q}");
+    }
+}
+
+/// Nesting: a shard may itself be sharded; the merge order composes.
+#[test]
+fn nested_sharded_store_stays_exact() {
+    let d = bigann_like(240, 8, 11);
+    let metric = d.metric;
+    let nested = ShardedIndex::build_with(&d.points, Partitioner::hash(2, 9), |_, ps| {
+        Arc::new(exact_sharded(&ps, metric, Partitioner::hash(3, 13)))
+            as Arc<dyn AnnIndex<u8> + Send + Sync>
+    });
+    let params = QueryParams {
+        k: 7,
+        ..QueryParams::default()
+    };
+    for q in 0..d.queries.len() {
+        let (got, _) = nested.search(d.queries.point(q), &params);
+        let want = brute_force_topk(&d.points, d.queries.point(q), d.metric, 7);
+        assert_eq!(got, want, "query {q}");
+    }
+}

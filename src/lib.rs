@@ -9,9 +9,12 @@
 //! * [`parlayann`] — the four graph-based ANNS algorithms.
 //! * [`ann_baselines`] — IVF/PQ/LSH and lock-based comparators.
 //! * [`parlayann_serve`] — the deadline-batched online serving front-end.
+//! * [`parlayann_store`] — the sharded vector store: multi-shard
+//!   routing, manifest persistence, live snapshot reload.
 
 pub use ann_baselines as baselines;
 pub use ann_data as data;
 pub use parlay;
 pub use parlayann as core;
 pub use parlayann_serve as serve;
+pub use parlayann_store as store;

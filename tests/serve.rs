@@ -129,6 +129,140 @@ fn eight_clients_get_bit_identical_responses() {
 }
 
 #[test]
+fn reload_under_load_answers_every_request_against_its_generation() {
+    // 8 clients × 1k requests with a snapshot reload landing mid-stream:
+    // generation 0 is a monolithic Vamana index, generation 1 a 4-shard
+    // sharded store over the same corpus (the serve router mode). Every
+    // response must (a) arrive exactly once and (b) be bit-identical to
+    // the reference results of the generation stamped on it — a batch
+    // executes wholly against one snapshot, whichever side of the swap
+    // it lands on.
+    use parlayann_suite::store::build_sharded_vamana;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let data = bigann_like(900, 250, 2121);
+    let params = QueryParams {
+        k: 10,
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let gen0 = Arc::new(VamanaIndex::build(
+        data.points.clone(),
+        data.metric,
+        &VamanaParams::default(),
+    ));
+    let gen1 = Arc::new(build_sharded_vamana(&data.points, data.metric, 4, 7));
+    let references = [
+        gen0.search_batch(&data.queries, &params),
+        gen1.search_batch(&data.queries, &params),
+    ];
+
+    let server = Arc::new(Server::start(
+        gen0,
+        ServerConfig {
+            params,
+            max_block: 16,
+            workers: 2,
+        },
+    ));
+    let completed = Arc::new(AtomicU64::new(0));
+
+    let nq = data.queries.len();
+    let (errors, gen_counts): (Vec<String>, [u64; 2]) = std::thread::scope(|scope| {
+        // Reloader: waits for the stream to be well underway, then swaps.
+        {
+            let server = Arc::clone(&server);
+            let completed = Arc::clone(&completed);
+            let gen1 = Arc::clone(&gen1);
+            scope.spawn(move || {
+                while completed.load(Ordering::Relaxed) < 1_000 {
+                    std::thread::yield_now();
+                }
+                assert_eq!(server.reload(gen1).expect("dims match"), 1);
+            });
+        }
+        let mut joins = Vec::new();
+        for client in 0..CLIENTS {
+            let server = Arc::clone(&server);
+            let completed = Arc::clone(&completed);
+            let queries = &data.queries;
+            let references = &references;
+            joins.push(scope.spawn(move || {
+                let mut errors = Vec::new();
+                let mut seen = [0u64; 2];
+                const WAVE: usize = 50;
+                let mut sent = 0;
+                while sent < QUERIES_PER_CLIENT {
+                    let wave: Vec<(usize, _)> = (sent..(sent + WAVE).min(QUERIES_PER_CLIENT))
+                        .map(|i| {
+                            let q = (client * 37 + i * 11) % nq;
+                            let handle = server
+                                .submit(queries.point(q), 10, Duration::from_micros(200))
+                                .expect("submit while running");
+                            (q, handle)
+                        })
+                        .collect();
+                    sent += wave.len();
+                    for (q, handle) in wave {
+                        let resp = handle.wait();
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        let Some(reference) = references.get(resp.generation as usize) else {
+                            errors.push(format!(
+                                "client {client}: impossible generation {}",
+                                resp.generation
+                            ));
+                            continue;
+                        };
+                        seen[resp.generation as usize] += 1;
+                        let (want, _) = &reference[q];
+                        if resp.neighbors.len() != want.len()
+                            || resp
+                                .neighbors
+                                .iter()
+                                .zip(want)
+                                .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits())
+                        {
+                            errors.push(format!(
+                                "client {client}: query {q} diverged from generation {} \
+                                 reference: {:?} != {:?}",
+                                resp.generation, resp.neighbors, want
+                            ));
+                        }
+                    }
+                }
+                (errors, seen)
+            }));
+        }
+        let mut errors = Vec::new();
+        let mut totals = [0u64; 2];
+        for j in joins {
+            let (e, seen) = j.join().unwrap();
+            errors.extend(e);
+            totals[0] += seen[0];
+            totals[1] += seen[1];
+        }
+        (errors, totals)
+    });
+    assert!(
+        errors.is_empty(),
+        "{} divergences, first: {}",
+        errors.len(),
+        errors[0]
+    );
+    // The swap really landed mid-stream: both generations served traffic,
+    // and nothing was lost or double-answered across it.
+    let total = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    assert_eq!(gen_counts[0] + gen_counts[1], total);
+    assert!(gen_counts[0] >= 1_000, "reload fired too early");
+    assert!(gen_counts[1] > 0, "reload never took effect");
+    let mut server = Arc::into_inner(server).expect("all clients done");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+}
+
+#[test]
 fn shutdown_under_load_answers_every_request() {
     // Submit a burst, shut down immediately: the drain must answer every
     // accepted request (bit-identically), and late submits are refused.
