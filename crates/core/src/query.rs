@@ -1012,6 +1012,7 @@ mod tests {
                 SearchStats {
                     dist_comps: 3,
                     hops: 1,
+                    ..Default::default()
                 },
             ),
             (
@@ -1019,6 +1020,7 @@ mod tests {
                 SearchStats {
                     dist_comps: 5,
                     hops: 2,
+                    ..Default::default()
                 },
             ),
         ];

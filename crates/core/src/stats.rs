@@ -31,6 +31,12 @@ impl StatsMode {
 }
 
 /// Per-query statistics from a beam search (or baseline scan).
+///
+/// The shard-health fields (`probed_shards`, `failed_shards`,
+/// `failovers`) are **not** gated on [`StatsMode`]: a degraded answer is
+/// a correctness-relevant property of the result, not a perf counter, so
+/// a sharded search reports them even under `StatsMode::Off`. They stay
+/// zero for non-sharded indexes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Number of distance evaluations performed.
@@ -38,13 +44,36 @@ pub struct SearchStats {
     /// Number of vertices whose neighborhood was expanded (beam-search hops),
     /// or probes/lists scanned for the non-graph baselines.
     pub hops: usize,
+    /// Shards that contributed to this result (0 = not a sharded search).
+    pub probed_shards: u32,
+    /// Bitmask of shard slots (bit `s` = shard `s`, slots ≥ 64 saturate
+    /// onto bit 63) whose every replica was unavailable — the result is
+    /// **degraded**: correct over the surviving shards, silent on the
+    /// failed ones.
+    pub failed_shards: u64,
+    /// Replica attempts that failed and were downgraded to the next
+    /// replica while answering.
+    pub failovers: u32,
 }
 
 impl SearchStats {
     /// Accumulates another query's stats (for averaging over a query set).
+    /// Counters add; `failed_shards` masks union. A sharded search
+    /// overwrites the shard-health fields with its own view after merging
+    /// its children, so nested stores report the outermost layer's
+    /// topology.
     pub fn merge(&mut self, other: &SearchStats) {
         self.dist_comps += other.dist_comps;
         self.hops += other.hops;
+        self.probed_shards += other.probed_shards;
+        self.failed_shards |= other.failed_shards;
+        self.failovers += other.failovers;
+    }
+
+    /// Whether any shard was silently missing from this result.
+    #[inline]
+    pub fn degraded(&self) -> bool {
+        self.failed_shards != 0
     }
 }
 
@@ -66,10 +95,12 @@ mod tests {
         let mut a = SearchStats {
             dist_comps: 3,
             hops: 1,
+            ..Default::default()
         };
         a.merge(&SearchStats {
             dist_comps: 4,
             hops: 2,
+            ..Default::default()
         });
         assert_eq!(a.dist_comps, 7);
         assert_eq!(a.hops, 3);

@@ -66,21 +66,42 @@ pub enum Poll<R> {
 pub struct Coalescer<R> {
     pending: VecDeque<R>,
     max_block: usize,
+    /// Admission bound on the pending queue (0 = unbounded).
+    capacity: usize,
 }
 
 impl<R: Deadlined> Coalescer<R> {
     /// A coalescer forming batches of at most `max_block` requests
-    /// (clamped to at least 1).
+    /// (clamped to at least 1), with an unbounded queue.
     pub fn new(max_block: usize) -> Self {
+        Self::with_capacity(max_block, 0)
+    }
+
+    /// [`new`](Self::new) with an admission bound: [`try_push`]
+    /// (Self::try_push) refuses requests once `capacity` are pending
+    /// (0 = unbounded). Overload is then shed at the queue's edge
+    /// instead of being absorbed into unbounded tail latency.
+    pub fn with_capacity(max_block: usize, capacity: usize) -> Self {
         Coalescer {
             pending: VecDeque::new(),
             max_block: max_block.max(1),
+            capacity,
         }
     }
 
     /// The configured batch bound.
     pub fn max_block(&self) -> usize {
         self.max_block
+    }
+
+    /// The admission bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the queue is at its admission bound.
+    pub fn is_full(&self) -> bool {
+        self.capacity > 0 && self.pending.len() >= self.capacity
     }
 
     /// Number of pending requests.
@@ -93,9 +114,22 @@ impl<R: Deadlined> Coalescer<R> {
         self.pending.is_empty()
     }
 
-    /// Enqueues a request (FIFO).
+    /// Enqueues a request (FIFO), ignoring the admission bound (shutdown
+    /// drains and tests use this; admission-controlled callers use
+    /// [`try_push`](Self::try_push)).
     pub fn push(&mut self, req: R) {
         self.pending.push_back(req);
+    }
+
+    /// Enqueues a request unless the queue is at capacity, in which case
+    /// the request is handed back for the caller to shed.
+    pub fn try_push(&mut self, req: R) -> Result<(), R> {
+        if self.is_full() {
+            Err(req)
+        } else {
+            self.pending.push_back(req);
+            Ok(())
+        }
     }
 
     /// One batching decision at time `now_ns`. Callers loop while this
@@ -216,6 +250,30 @@ mod tests {
         }
         // The remainder is below the block bound and not yet late.
         assert!(matches!(c.poll(0), Poll::WaitUntil(_)));
+    }
+
+    #[test]
+    fn capacity_bounds_try_push_but_not_drains() {
+        let mut c = Coalescer::new(2);
+        assert_eq!(c.capacity(), 0);
+        for i in 0..100 {
+            assert!(c.try_push(req(i, 1)).is_ok(), "unbounded never sheds");
+        }
+
+        let mut c = Coalescer::with_capacity(2, 3);
+        for i in 0..3 {
+            assert!(c.try_push(req(i, 1)).is_ok());
+        }
+        assert!(c.is_full());
+        let shed = c.try_push(req(9, 1)).expect_err("over capacity");
+        assert_eq!(shed.id, 9);
+        // Dispatch frees space; admission resumes.
+        assert!(matches!(c.poll(0), Poll::Dispatch(DispatchReason::Full, _)));
+        assert!(c.try_push(req(10, 1)).is_ok());
+        // Plain push ignores the bound (drain/compat path).
+        c.push(req(11, 1));
+        c.push(req(12, 1));
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub mod server;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use coalescer::{Coalescer, Deadlined, DispatchReason, Poll};
 pub use server::{
-    ReloadError, Response, ResponseHandle, Server, ServerConfig, ServerStatsSnapshot, SubmitError,
+    Rejected, ReloadError, Response, ResponseHandle, Server, ServerConfig, ServerStatsSnapshot,
+    SubmitError,
 };
 
 #[cfg(test)]
@@ -69,7 +70,51 @@ mod tests {
             },
             max_block,
             workers: 2,
+            max_queue: 0,
         }
+    }
+
+    #[test]
+    fn admission_bound_sheds_over_capacity() {
+        let index = tiny_index();
+        let clock = Arc::new(ManualClock::new());
+        let mut cfg = config(4);
+        cfg.max_queue = 3;
+        let server = Server::manual(index, cfg, clock.clone());
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                server
+                    .submit(&[i as f32, 0.0], 2, Duration::from_secs(1))
+                    .expect("under the bound")
+            })
+            .collect();
+        assert_eq!(server.inflight(), 3);
+        // The 4th request is shed, firmly and immediately.
+        assert_eq!(
+            server
+                .submit(&[9.0, 9.0], 2, Duration::from_secs(1))
+                .unwrap_err(),
+            Rejected::Shed { inflight: 3 }
+        );
+        assert_eq!(server.stats().shed, 1);
+        // Answering frees capacity; admission resumes.
+        server.pump(); // 3 pending < max_block, but not due yet
+        assert_eq!(server.inflight(), 3);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(server.pump(), 1);
+        for h in &handles {
+            assert!(h.try_take().is_some());
+        }
+        assert_eq!(server.inflight(), 0);
+        let h = server
+            .submit(&[1.0, 1.0], 2, Duration::ZERO)
+            .expect("capacity freed");
+        server.pump();
+        assert!(h.try_take().is_some());
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.shed, 1);
     }
 
     #[test]
@@ -97,6 +142,49 @@ mod tests {
         assert!(taken.is_err(), "failed batch must propagate to the waiter");
         // The server itself survives and keeps refusing/accepting work.
         assert_eq!(server.pending(), 0);
+    }
+
+    #[test]
+    fn batch_panic_fails_only_the_unrecoverable_request() {
+        // An index where exactly one query is poisoned: the batch path
+        // panics (the engine propagates the row's panic batch-wide), but
+        // the per-request isolation retry must answer every clean row and
+        // fail only the poisoned one.
+        struct PoisonIndex;
+        impl parlayann::AnnIndex<f32> for PoisonIndex {
+            fn search(
+                &self,
+                query: &[f32],
+                _params: &QueryParams,
+            ) -> (Vec<(u32, f32)>, parlayann::SearchStats) {
+                assert!(query[0] >= 0.0, "poisoned query");
+                (
+                    vec![(query[0] as u32, query[1])],
+                    parlayann::SearchStats::default(),
+                )
+            }
+            fn name(&self) -> String {
+                "poison".into()
+            }
+        }
+        let clock = Arc::new(ManualClock::new());
+        let server = Server::manual(Arc::new(PoisonIndex), config(4), clock);
+        let good: Vec<_> = (0..3)
+            .map(|i| server.submit(&[i as f32, 0.5], 1, Duration::ZERO).unwrap())
+            .collect();
+        let bad = server.submit(&[-1.0, 0.5], 1, Duration::ZERO).unwrap();
+        assert_eq!(server.pump(), 1);
+        for (i, h) in good.iter().enumerate() {
+            let resp = h.try_take().expect("clean row answered");
+            assert_eq!(resp.neighbors, vec![(i as u32, 0.5)]);
+            assert_eq!(resp.batch_size, 4);
+        }
+        let taken = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.try_take()));
+        assert!(taken.is_err(), "poisoned row fails its own waiter");
+        let stats = server.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.isolated_failures, 1);
+        assert_eq!(server.inflight(), 0);
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub struct ServerConfig {
     /// suffices; more workers overlap batches when one stalls on a cold
     /// cache.
     pub workers: usize,
+    /// Admission bound: the most requests allowed in flight inside the
+    /// server (queued **or** dispatched-but-unanswered) before
+    /// [`Server::submit`] sheds with [`Rejected::Shed`]. 0 = unbounded
+    /// (the default — overload is absorbed into queue depth, as before).
+    ///
+    /// With a bound set, overload past saturation turns into fast-fail
+    /// rejections instead of unbounded tail latency: p99 of *accepted*
+    /// requests stays pinned near `max_queue / throughput` while the
+    /// shed rate absorbs the excess.
+    pub max_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -51,13 +61,14 @@ impl Default for ServerConfig {
             params: QueryParams::default(),
             max_block: parlayann::default_block().max(2),
             workers: 2,
+            max_queue: 0,
         }
     }
 }
 
 /// Why [`Server::submit`] refused a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SubmitError {
+pub enum Rejected {
     /// [`Server::shutdown`] has begun; the queue is draining.
     ShuttingDown,
     /// The query's length does not match the index dimensionality.
@@ -67,20 +78,38 @@ pub enum SubmitError {
         /// Submitted query length.
         got: usize,
     },
+    /// Admission control refused the request: the server is over its
+    /// [`ServerConfig::max_queue`] bound, or the projected queue wait
+    /// already exceeds the request's latency budget. Shedding at submit
+    /// is what keeps accepted-request p99 flat past saturation; the
+    /// caller may retry later or against another node.
+    Shed {
+        /// Requests in flight inside the server at rejection time.
+        inflight: usize,
+    },
 }
 
-impl std::fmt::Display for SubmitError {
+impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
-            SubmitError::DimMismatch { expected, got } => {
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+            Rejected::DimMismatch { expected, got } => {
                 write!(f, "query has {got} dimensions, index has {expected}")
+            }
+            Rejected::Shed { inflight } => {
+                write!(
+                    f,
+                    "request shed by admission control ({inflight} in flight)"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for SubmitError {}
+impl std::error::Error for Rejected {}
+
+/// The pre-admission-control name of [`Rejected`].
+pub type SubmitError = Rejected;
 
 /// Why [`Server::reload`] refused a snapshot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,8 +142,16 @@ pub struct Response {
     /// Up to `k` `(id, distance)` pairs, closest first — bit-identical to
     /// a direct `search_batch` of the same query.
     pub neighbors: Vec<(u32, f32)>,
-    /// Per-request search counters (zeroed under `StatsMode::Off`).
+    /// Per-request search counters (zeroed under `StatsMode::Off`; the
+    /// shard-health fields survive `Off` — see [`SearchStats`]).
     pub stats: SearchStats,
+    /// Shards that contributed to this answer (0 = unsharded index).
+    pub probed_shards: u32,
+    /// Whether this answer is **degraded**: some shard had every replica
+    /// down, so the result covers only the surviving shards (and is
+    /// bit-identical to a direct search over exactly those shards —
+    /// `stats.failed_shards` says which slots are missing).
+    pub degraded: bool,
     /// How many requests shared this request's batch.
     pub batch_size: usize,
     /// What triggered the batch.
@@ -262,6 +299,10 @@ struct ServerStats {
     drain_batches: AtomicU64,
     queue_ns_total: AtomicU64,
     max_batch: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    failovers: AtomicU64,
+    isolated_failures: AtomicU64,
 }
 
 /// Point-in-time copy of the server's aggregate counters.
@@ -284,6 +325,16 @@ pub struct ServerStatsSnapshot {
     pub queue_ns_total: u64,
     /// Largest batch executed.
     pub max_batch: u64,
+    /// Requests refused by admission control ([`Rejected::Shed`]).
+    pub shed: u64,
+    /// Responses delivered degraded (some shard's every replica down).
+    pub degraded: u64,
+    /// Replica failover attempts paid across all batches.
+    pub failovers: u64,
+    /// Requests that individually failed after their batch panicked and
+    /// was retried per request (each propagated its failure to exactly
+    /// its own waiter).
+    pub isolated_failures: u64,
 }
 
 impl ServerStatsSnapshot {
@@ -349,6 +400,19 @@ struct Shared<T: VectorElem> {
     stats: ServerStats,
     state: Mutex<SubmitState<T>>,
     cv: Condvar,
+    /// Admission bound ([`ServerConfig::max_queue`]; 0 = unbounded).
+    max_queue: usize,
+    /// Batch bound (for the projected-wait estimate).
+    max_block: usize,
+    /// Requests inside the server: admitted but not yet answered/failed.
+    /// This — not the coalescer queue alone — is what `max_queue`
+    /// bounds: under overload the backlog lives in the dispatch channel,
+    /// so bounding only the coalescer would bound nothing.
+    inflight: AtomicUsize,
+    /// EWMA batch service time in ns (0 until measured; stays 0 under a
+    /// manual clock, which disables the projected-wait shed and keeps
+    /// single-stepped tests deterministic).
+    est_batch_ns: AtomicU64,
 }
 
 impl<T: VectorElem> Shared<T> {
@@ -467,10 +531,14 @@ impl<T: VectorElem> Server<T> {
             track: config.params.stats.enabled(),
             stats: ServerStats::default(),
             state: Mutex::new(SubmitState {
-                coal: Coalescer::new(config.max_block),
+                coal: Coalescer::with_capacity(config.max_block, config.max_queue),
                 accepting: true,
             }),
             cv: Condvar::new(),
+            max_queue: config.max_queue,
+            max_block: config.max_block.max(1),
+            inflight: AtomicUsize::new(0),
+            est_batch_ns: AtomicU64::new(0),
         })
     }
 
@@ -485,12 +553,18 @@ impl<T: VectorElem> Server<T> {
     /// server's `params.k`) and a latency budget: the request is
     /// guaranteed to be dispatched once `budget` has elapsed, sooner if a
     /// full batch forms around it.
+    ///
+    /// With [`ServerConfig::max_queue`] set, admission control may refuse
+    /// the request with [`Rejected::Shed`] — when the in-flight bound is
+    /// reached, or when the measured batch service time projects a queue
+    /// wait already past `budget` (fast-fail: better to tell the caller
+    /// now than to answer hopelessly late).
     pub fn submit(
         &self,
         query: &[T],
         k: usize,
         budget: Duration,
-    ) -> Result<ResponseHandle, SubmitError> {
+    ) -> Result<ResponseHandle, Rejected> {
         let dim = self.shared.dim.load(Ordering::Relaxed);
         if dim == 0 {
             // Index didn't report a dimensionality; the first submit fixes it.
@@ -501,10 +575,30 @@ impl<T: VectorElem> Server<T> {
         }
         let dim = self.shared.dim.load(Ordering::Relaxed);
         if query.len() != dim {
-            return Err(SubmitError::DimMismatch {
+            return Err(Rejected::DimMismatch {
                 expected: dim,
                 got: query.len(),
             });
+        }
+        // Admission: reserve an in-flight slot (firm bound — reserve then
+        // undo, so racing submits can't both squeeze past the limit), and
+        // fast-fail when the projected queue wait already blows `budget`.
+        let inflight = self.shared.inflight.fetch_add(1, Ordering::Relaxed);
+        if self.shared.max_queue > 0 {
+            let over = inflight >= self.shared.max_queue || {
+                let est = self.shared.est_batch_ns.load(Ordering::Relaxed);
+                let batches_ahead = (inflight / self.shared.max_block) as u64;
+                est > 0
+                    && batches_ahead.saturating_mul(est)
+                        > budget.as_nanos().min(u64::MAX as u128) as u64
+            };
+            if over {
+                self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                if self.shared.track {
+                    self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(Rejected::Shed { inflight });
+            }
         }
         let now = self.shared.clock.now_ns();
         let slot = Arc::new(Slot::new());
@@ -518,7 +612,9 @@ impl<T: VectorElem> Server<T> {
         {
             let mut st = self.shared.lock_state();
             if !st.accepting {
-                return Err(SubmitError::ShuttingDown);
+                drop(st);
+                self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                return Err(Rejected::ShuttingDown);
             }
             st.coal.push(pending);
         }
@@ -634,7 +730,16 @@ impl<T: VectorElem> Server<T> {
             drain_batches: s.drain_batches.load(Ordering::Relaxed),
             queue_ns_total: s.queue_ns_total.load(Ordering::Relaxed),
             max_batch: s.max_batch.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+            failovers: s.failovers.load(Ordering::Relaxed),
+            isolated_failures: s.isolated_failures.load(Ordering::Relaxed),
         }
+    }
+
+    /// Requests currently inside the server (admitted, not yet answered).
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: refuses new submits, drains every pending
@@ -778,28 +883,44 @@ fn execute_batch<T: VectorElem>(
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .clone();
+    let started_ns = shared.clock.now_ns();
     // A panicking index (or one returning the wrong row count) must not
-    // leave clients blocked in `wait` forever: fail the affected slots so
-    // the panic propagates to the waiters, and keep the worker alive for
-    // subsequent batches.
+    // leave clients blocked in `wait` forever — and with shard/replica
+    // isolation below the index (see parlayann_store), a panic that does
+    // escape is batch-wide only by accident of batching. So on a batch
+    // panic, retry each request individually (bit-identical to the batch
+    // path by the engine contract) and fail only the requests that are
+    // actually unrecoverable; the worker survives either way.
     let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         current
             .index
             .search_batch_in(queries, &shared.params, &shared.engine)
     }));
+    let batch_size = reqs.len();
     let results = match results {
         Ok(r) => r,
         Err(_) => {
             *assembly = None; // the buffer may be mid-update; drop it
-            for req in &reqs {
-                req.slot.fail();
-            }
+            isolate_batch_failure(shared, reqs, reason, dispatch_ns, &current);
             return;
         }
     };
     debug_assert_eq!(results.len(), reqs.len());
-    let batch_size = reqs.len();
+    // Service-time EWMA (α = 1/8) for the projected-wait shed. A manual
+    // clock never advances during execution, so this stays 0 there.
+    let elapsed = shared.clock.now_ns().saturating_sub(started_ns);
+    if elapsed > 0 {
+        let prev = shared.est_batch_ns.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            elapsed
+        } else {
+            prev - prev / 8 + elapsed / 8
+        };
+        shared.est_batch_ns.store(next, Ordering::Relaxed);
+    }
     let mut queue_ns_sum = 0u64;
+    let mut degraded_count = 0u64;
+    let batch_failovers = results.first().map(|r| r.1.failovers).unwrap_or(0);
     let mut results = results.into_iter();
     for req in reqs {
         let Some((mut neighbors, stats)) = results.next() else {
@@ -809,8 +930,11 @@ fn execute_batch<T: VectorElem>(
         neighbors.truncate(req.k);
         let queue_ns = dispatch_ns.saturating_sub(req.submit_ns);
         queue_ns_sum += queue_ns;
+        degraded_count += stats.degraded() as u64;
         req.slot.fill(Response {
             neighbors,
+            probed_shards: stats.probed_shards,
+            degraded: stats.degraded(),
             stats,
             batch_size,
             reason,
@@ -818,6 +942,7 @@ fn execute_batch<T: VectorElem>(
             generation: current.generation,
         });
     }
+    shared.inflight.fetch_sub(batch_size, Ordering::Relaxed);
     if shared.track {
         let s = &shared.stats;
         s.completed.fetch_add(batch_size as u64, Ordering::Relaxed);
@@ -830,5 +955,76 @@ fn execute_batch<T: VectorElem>(
         .fetch_add(1, Ordering::Relaxed);
         s.queue_ns_total.fetch_add(queue_ns_sum, Ordering::Relaxed);
         s.max_batch.fetch_max(batch_size as u64, Ordering::Relaxed);
+        s.degraded.fetch_add(degraded_count, Ordering::Relaxed);
+        // Failover work is paid once per batch (every row reports the
+        // batch's count), so account it once, not per row.
+        s.failovers
+            .fetch_add(batch_failovers as u64, Ordering::Relaxed);
+    }
+}
+
+/// The blast-radius containment path: the batch call panicked, so rerun
+/// every request on its own. Requests that succeed are answered normally
+/// (bit-identical to the batch path by the engine's batching contract);
+/// only requests that fail again — truly unrecoverable against this
+/// snapshot — propagate the failure, each to exactly its own waiter.
+fn isolate_batch_failure<T: VectorElem>(
+    shared: &Shared<T>,
+    reqs: Vec<Pending<T>>,
+    reason: DispatchReason,
+    dispatch_ns: u64,
+    current: &CurrentIndex<T>,
+) {
+    let batch_size = reqs.len();
+    let mut queue_ns_sum = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut degraded_count = 0u64;
+    let mut failovers = 0u64;
+    for req in reqs {
+        let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            current.index.search(&req.query, &shared.params)
+        }));
+        match one {
+            Ok((mut neighbors, stats)) => {
+                neighbors.truncate(req.k);
+                let queue_ns = dispatch_ns.saturating_sub(req.submit_ns);
+                queue_ns_sum += queue_ns;
+                completed += 1;
+                degraded_count += stats.degraded() as u64;
+                failovers += stats.failovers as u64;
+                req.slot.fill(Response {
+                    neighbors,
+                    probed_shards: stats.probed_shards,
+                    degraded: stats.degraded(),
+                    stats,
+                    batch_size,
+                    reason,
+                    queue_ns,
+                    generation: current.generation,
+                });
+            }
+            Err(_) => {
+                failed += 1;
+                req.slot.fail();
+            }
+        }
+    }
+    shared.inflight.fetch_sub(batch_size, Ordering::Relaxed);
+    if shared.track {
+        let s = &shared.stats;
+        s.completed.fetch_add(completed, Ordering::Relaxed);
+        s.batches.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            DispatchReason::Full => &s.full_batches,
+            DispatchReason::Deadline => &s.deadline_batches,
+            DispatchReason::Drain => &s.drain_batches,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        s.queue_ns_total.fetch_add(queue_ns_sum, Ordering::Relaxed);
+        s.max_batch.fetch_max(batch_size as u64, Ordering::Relaxed);
+        s.degraded.fetch_add(degraded_count, Ordering::Relaxed);
+        s.failovers.fetch_add(failovers, Ordering::Relaxed);
+        s.isolated_failures.fetch_add(failed, Ordering::Relaxed);
     }
 }

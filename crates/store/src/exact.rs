@@ -71,6 +71,7 @@ impl<T: VectorElem> AnnIndex<T> for ExactIndex<T> {
             SearchStats {
                 dist_comps: self.points.len(),
                 hops: 0,
+                ..Default::default()
             }
         } else {
             SearchStats::default()
@@ -115,6 +116,7 @@ impl<T: VectorElem> AnnIndex<T> for ExactIndex<T> {
             SearchStats {
                 dist_comps: self.points.len(),
                 hops: 0,
+                ..Default::default()
             },
         )
     }

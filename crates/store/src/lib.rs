@@ -34,15 +34,21 @@
 #![allow(clippy::type_complexity)]
 
 pub mod exact;
+pub mod fault;
 pub mod handle;
 pub mod manifest;
 pub mod partition;
+pub mod replica;
 pub mod sharded;
 
 pub use exact::ExactIndex;
+pub use fault::{
+    is_injected, silence_injected_panics, Fault, FaultPlan, FaultyIndex, InjectedFault,
+};
 pub use handle::{Generation, StoreHandle};
 pub use manifest::{file_checksum, load_manifest, save_manifest, shard_path, MANIFEST_FILE};
 pub use partition::{shard_members, Partitioner};
+pub use replica::{BreakerConfig, BreakerState, CircuitBreaker, ReplicaSet, RunOutcome};
 pub use sharded::{merge_topk, Shard, ShardedIndex};
 
 use ann_data::io::BinaryElem;

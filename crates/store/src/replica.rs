@@ -1,0 +1,404 @@
+//! Replica failover: N interchangeable copies of one shard behind
+//! per-replica circuit breakers.
+//!
+//! A [`ReplicaSet`] holds one or more replicas of the *same* shard
+//! content (bit-identical sub-indexes — usually `Arc` clones of one
+//! build, possibly wrapped in [`crate::FaultyIndex`] under test). Because
+//! replicas are bit-identical, **which** replica answers never changes
+//! the result — replica selection spreads load and routes around
+//! failures without touching the determinism story.
+//!
+//! ## Lifecycle (per replica)
+//!
+//! ```text
+//!            trip_after consecutive failures
+//!   healthy ───────────────────────────────► tripped
+//!      ▲                                        │
+//!      │ probe succeeds                         │ probe_after set-calls elapse
+//!      │                                        ▼
+//!      └──────────────────────────────────── probation
+//!                     probe fails ──► tripped (window restarts)
+//! ```
+//!
+//! * **healthy** (closed): the replica serves; a success clears the
+//!   consecutive-failure count.
+//! * **tripped** (open): after [`BreakerConfig::trip_after`] consecutive
+//!   failures the replica is skipped entirely — a dead replica must not
+//!   cost a panic-unwind per request.
+//! * **probation** (half-open): once [`BreakerConfig::probe_after`]
+//!   *set-level calls* (not wall time — determinism) have passed since
+//!   the trip, the next request routed its way probes it once; success
+//!   re-closes, failure re-trips and restarts the window.
+//!
+//! All transitions key on call counts, never clocks, so a scripted
+//! request sequence drives a reproducible state machine.
+//!
+//! ## Failover
+//!
+//! [`ReplicaSet::run`] picks a preferred replica deterministically from
+//! the per-request sequence number (`hash(seed, seq) % n` — per-request
+//! routing, LANNS-style load spreading), then walks the remaining
+//! replicas in ring order. Every attempt runs under `catch_unwind`:
+//! a panicking replica (injected or genuine) records a breaker failure
+//! and **downgrades to the next replica instead of unwinding into the
+//! caller** — panic isolation is what keeps one dying replica from
+//! failing a whole batch. Only when every replica is tripped or fails is
+//! the shard reported down (`None`), which the sharded merge turns into
+//! a degraded partial result.
+
+use ann_data::VectorElem;
+use parlay::hash64_pair;
+use parlayann::AnnIndex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Circuit-breaker thresholds (call-count-based; see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a replica (≥ 1).
+    pub trip_after: u32,
+    /// Set-level calls after a trip before a probation probe is allowed.
+    pub probe_after: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            probe_after: 64,
+        }
+    }
+}
+
+/// Observable breaker state (for stats/tests; the transitions live in
+/// [`CircuitBreaker`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Serving traffic.
+    Healthy,
+    /// Skipped; waiting out the probation window.
+    Tripped,
+    /// One probe is in flight.
+    Probation,
+}
+
+enum State {
+    Closed { consecutive: u32 },
+    Open { since: u64 },
+    HalfOpen,
+}
+
+/// One replica's health: consecutive-failure trip, call-count probation.
+pub struct CircuitBreaker {
+    state: Mutex<State>,
+    cfg: BreakerConfig,
+}
+
+impl CircuitBreaker {
+    fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            state: Mutex::new(State::Closed { consecutive: 0 }),
+            cfg,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether an attempt may proceed at set-call `now`. Claims the
+    /// probation probe (open → half-open) when the window has elapsed, so
+    /// concurrent callers send at most one probe per window.
+    fn admit(&self, now: u64) -> bool {
+        let mut st = self.lock();
+        match *st {
+            State::Closed { .. } => true,
+            State::Open { since } if now.saturating_sub(since) >= self.cfg.probe_after => {
+                *st = State::HalfOpen;
+                true
+            }
+            State::Open { .. } => false,
+            State::HalfOpen => false,
+        }
+    }
+
+    /// Records a successful attempt: any state re-closes fully healed.
+    fn on_success(&self) {
+        *self.lock() = State::Closed { consecutive: 0 };
+    }
+
+    /// Records a failed attempt at set-call `now`: closed counts toward
+    /// the trip threshold, a failed probe re-trips immediately.
+    fn on_failure(&self, now: u64) {
+        let mut st = self.lock();
+        *st = match *st {
+            State::Closed { consecutive } if consecutive + 1 >= self.cfg.trip_after => {
+                State::Open { since: now }
+            }
+            State::Closed { consecutive } => State::Closed {
+                consecutive: consecutive + 1,
+            },
+            State::HalfOpen => State::Open { since: now },
+            State::Open { since } => State::Open { since },
+        };
+    }
+
+    /// Current state (healthy / tripped / probation).
+    pub fn state(&self) -> BreakerState {
+        match *self.lock() {
+            State::Closed { .. } => BreakerState::Healthy,
+            State::Open { .. } => BreakerState::Tripped,
+            State::HalfOpen => BreakerState::Probation,
+        }
+    }
+}
+
+/// The outcome of one [`ReplicaSet::run`]: which replica answered and
+/// how many attempts were downgraded on the way.
+pub struct RunOutcome<R> {
+    /// The successful replica's return value.
+    pub value: R,
+    /// Replica index that answered.
+    pub replica: usize,
+    /// Failed attempts downgraded before the success (0 = first try).
+    pub failovers: u32,
+}
+
+/// N bit-identical replicas of one shard, with deterministic selection
+/// and per-replica breakers (see the module docs).
+pub struct ReplicaSet<T> {
+    replicas: Vec<Arc<dyn AnnIndex<T> + Send + Sync>>,
+    breakers: Vec<CircuitBreaker>,
+    cfg: BreakerConfig,
+    /// Routing seed: preferred replica for sequence `s` is
+    /// `hash64_pair(seed, s) % n`.
+    seed: u64,
+    /// Monotonic per-set request sequence — the "clock" every breaker
+    /// window is measured in.
+    calls: AtomicU64,
+}
+
+impl<T: VectorElem> ReplicaSet<T> {
+    /// A set with one replica (the common, unreplicated case).
+    pub fn new(primary: Arc<dyn AnnIndex<T> + Send + Sync>, seed: u64, cfg: BreakerConfig) -> Self {
+        ReplicaSet {
+            breakers: vec![CircuitBreaker::new(cfg)],
+            replicas: vec![primary],
+            cfg,
+            seed,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds a replica. It must present the same corpus as the primary
+    /// (`len`/`dim` are checked; content equality is the caller's
+    /// contract — replicas are meant to be `Arc` clones or wrappers of
+    /// the same build).
+    pub fn push(&mut self, replica: Arc<dyn AnnIndex<T> + Send + Sync>) {
+        assert_eq!(
+            replica.len(),
+            self.replicas[0].len(),
+            "replica length diverges from the primary"
+        );
+        let (pd, rd) = (self.replicas[0].dim(), replica.dim());
+        assert!(
+            pd == rd || pd == 0 || rd == 0,
+            "replica dimensionality diverges from the primary ({pd} vs {rd})"
+        );
+        self.breakers.push(CircuitBreaker::new(self.cfg));
+        self.replicas.push(replica);
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The primary (replica 0) — the persistence/introspection view.
+    pub fn primary(&self) -> &Arc<dyn AnnIndex<T> + Send + Sync> {
+        &self.replicas[0]
+    }
+
+    /// Breaker states, in replica order (stats/tests).
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(|b| b.state()).collect()
+    }
+
+    /// Set-level calls made so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` against one healthy replica, failing over in ring order
+    /// from the deterministically-selected preferred replica. Panics are
+    /// caught and recorded as breaker failures; `None` means the shard is
+    /// down — every replica was tripped or failed this request.
+    pub fn run<R>(&self, f: impl Fn(&dyn AnnIndex<T>) -> R) -> Option<RunOutcome<R>> {
+        let seq = self.calls.fetch_add(1, Ordering::Relaxed);
+        let n = self.replicas.len();
+        let preferred = (hash64_pair(self.seed, seq) % n as u64) as usize;
+        let mut failovers = 0u32;
+        for off in 0..n {
+            let r = (preferred + off) % n;
+            if !self.breakers[r].admit(seq) {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(&*self.replicas[r]))) {
+                Ok(value) => {
+                    self.breakers[r].on_success();
+                    return Some(RunOutcome {
+                        value,
+                        replica: r,
+                        failovers,
+                    });
+                }
+                Err(_payload) => {
+                    // Injected or genuine: either way this replica just
+                    // proved unhealthy; downgrade to the next.
+                    self.breakers[r].on_failure(seq);
+                    failovers += 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyIndex};
+    use crate::ExactIndex;
+    use ann_data::bigann_like;
+    use parlayann::QueryParams;
+
+    fn exact(n: usize, seed: u64) -> Arc<dyn AnnIndex<u8> + Send + Sync> {
+        let d = bigann_like(n, 1, seed);
+        Arc::new(ExactIndex::new(d.points, d.metric))
+    }
+
+    fn search_ok(set: &ReplicaSet<u8>, q: &[u8]) -> Option<(Vec<(u32, f32)>, u32)> {
+        let params = QueryParams {
+            k: 5,
+            ..QueryParams::default()
+        };
+        set.run(|idx| idx.search(q, &params).0)
+            .map(|o| (o.value, o.failovers))
+    }
+
+    #[test]
+    fn failover_downgrades_to_the_healthy_replica() {
+        crate::fault::silence_injected_panics();
+        let primary = exact(100, 1);
+        let mut set = ReplicaSet::new(
+            Arc::new(FaultyIndex::new(Arc::clone(&primary), FaultPlan::down())),
+            7,
+            BreakerConfig::default(),
+        );
+        set.push(Arc::clone(&primary));
+        let q = vec![3u8; 128];
+        let params = QueryParams {
+            k: 5,
+            ..QueryParams::default()
+        };
+        let (want, _) = primary.search(&q, &params);
+        for _ in 0..50 {
+            let (got, _) = search_ok(&set, &q).expect("healthy replica must answer");
+            assert_eq!(got, want, "failover must not change bits");
+        }
+    }
+
+    #[test]
+    fn breaker_trips_then_probes_then_heals() {
+        crate::fault::silence_injected_panics();
+        let primary = exact(60, 2);
+        let cfg = BreakerConfig {
+            trip_after: 2,
+            probe_after: 5,
+        };
+        // Replica 0 is down for its first 4 calls, then healthy forever.
+        let flaky = Arc::new(FaultyIndex::new(
+            Arc::clone(&primary),
+            FaultPlan::window(0, 4),
+        ));
+        let mut set = ReplicaSet::new(flaky, /* seed: */ 0, cfg);
+        set.push(Arc::clone(&primary));
+        let q = vec![9u8; 128];
+
+        // Drive requests; seed 0 routing spreads across both replicas.
+        // Replica 0 fails whenever tried until it has burned 4 calls;
+        // after 2 consecutive failures it trips (skipped), after 5 more
+        // set-calls it probes. Eventually it must heal permanently.
+        let mut saw_tripped = false;
+        let mut healed_at = None;
+        for i in 0..60u64 {
+            let out = search_ok(&set, &q);
+            assert!(out.is_some(), "the healthy replica always backs the set");
+            let states = set.breaker_states();
+            if states[0] == BreakerState::Tripped {
+                saw_tripped = true;
+            }
+            if saw_tripped && states[0] == BreakerState::Healthy && healed_at.is_none() {
+                healed_at = Some(i);
+            }
+        }
+        assert!(saw_tripped, "replica 0 must trip during its outage");
+        assert!(
+            healed_at.is_some(),
+            "replica 0 must heal via probation once the outage ends"
+        );
+        assert_eq!(set.breaker_states()[0], BreakerState::Healthy);
+    }
+
+    #[test]
+    fn all_replicas_down_reports_shard_down() {
+        crate::fault::silence_injected_panics();
+        let primary = exact(40, 3);
+        let mut set = ReplicaSet::new(
+            Arc::new(FaultyIndex::new(Arc::clone(&primary), FaultPlan::down())),
+            1,
+            BreakerConfig {
+                trip_after: 1,
+                probe_after: 1000,
+            },
+        );
+        set.push(Arc::new(FaultyIndex::new(
+            Arc::clone(&primary),
+            FaultPlan::down(),
+        )));
+        let q = vec![0u8; 128];
+        for _ in 0..10 {
+            assert!(search_ok(&set, &q).is_none(), "no replica can answer");
+        }
+        // After tripping, down requests stop paying panic costs entirely:
+        // both breakers are open and stay open (probe window far away).
+        assert_eq!(
+            set.breaker_states(),
+            vec![BreakerState::Tripped, BreakerState::Tripped]
+        );
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_spreads_load() {
+        let primary = exact(50, 4);
+        let mut set = ReplicaSet::new(Arc::clone(&primary), 99, BreakerConfig::default());
+        set.push(Arc::clone(&primary));
+        set.push(Arc::clone(&primary));
+        let q = vec![1u8; 128];
+        let picks: Vec<usize> = (0..90)
+            .map(|_| set.run(|idx| idx.search(&q, &QueryParams::default()).0))
+            .map(|o| o.unwrap().replica)
+            .collect();
+        // Re-derive: same hash, same picks (nothing failed, so the pick
+        // is exactly the preferred replica).
+        for (s, &got) in picks.iter().enumerate() {
+            assert_eq!(got, (hash64_pair(99, s as u64) % 3) as usize);
+        }
+        // And the hash spreads: every replica serves a decent share.
+        for r in 0..3 {
+            let share = picks.iter().filter(|&&p| p == r).count();
+            assert!(share >= 15, "replica {r} got only {share}/90 requests");
+        }
+    }
+}

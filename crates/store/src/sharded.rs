@@ -27,8 +27,33 @@
 //! shards keep their approximate semantics per shard; recall of the
 //! merged result is in practice ≥ the unsharded index (each shard scans
 //! its beam over a smaller corpus — the recall-floor suite pins this).
+//!
+//! ## Replication, failover, and degraded results
+//!
+//! Each shard slot is fronted by a [`ReplicaSet`]: replica 0 is the
+//! [`Shard::index`] itself (the persistence/introspection view), and
+//! [`ShardedIndex::add_replica`] registers further bit-identical copies.
+//! Every search path routes each shard's work through
+//! [`ReplicaSet::run`] — deterministic per-request replica selection,
+//! per-replica circuit breakers, and panic isolation, so a dying replica
+//! downgrades to the next instead of unwinding into the fan-out (see
+//! [`crate::replica`]). Failover happens at call granularity: a panic
+//! mid-batch reruns the whole shard batch on the next replica, keeping
+//! the bit-identity contract (replicas are identical, so *who* answers
+//! never changes the bits).
+//!
+//! When **every** replica of a shard is down, the merge proceeds over
+//! the surviving shards and the result is **degraded**: bit-identical to
+//! a search over only the surviving shards (same merge, shorter list of
+//! inputs — the chaos suite asserts this), with the missing slots
+//! reported in [`SearchStats::failed_shards`] and the surviving count in
+//! [`SearchStats::probed_shards`]. These shard-health fields are written
+//! unconditionally (not gated on `StatsMode`) and overwrite whatever the
+//! children reported, so a nested sharded store describes the outermost
+//! topology.
 
 use crate::partition::{shard_members, Partitioner};
+use crate::replica::{BreakerConfig, BreakerState, ReplicaSet};
 use ann_data::{PointSet, VectorElem};
 use parlayann::{
     AnnIndex, IndexKind, IndexStats, QueryEngine, QueryParams, RangeParams, SearchStats,
@@ -46,12 +71,23 @@ pub struct Shard<T> {
 }
 
 /// A sharded vector store presenting N sub-indexes as one [`AnnIndex`].
-/// See the module docs for the merge-determinism argument.
+/// See the module docs for the merge-determinism argument and the
+/// replication/degraded-result semantics.
 pub struct ShardedIndex<T> {
     shards: Vec<Shard<T>>,
+    /// One replica set per shard slot; `sets[s]` fronts `shards[s]`
+    /// (replica 0 is `shards[s].index`).
+    sets: Vec<ReplicaSet<T>>,
     partitioner: Partitioner,
     dim: usize,
     len: usize,
+}
+
+/// The failed-shard mask bit for shard slot `s` (slots ≥ 64 saturate
+/// onto bit 63 — see [`SearchStats::failed_shards`]).
+#[inline]
+fn shard_bit(s: usize) -> u64 {
+    1u64 << s.min(63)
 }
 
 /// The `(distance, global id)` merge order (matches the query layer's
@@ -136,7 +172,9 @@ impl<T: VectorElem> ShardedIndex<T> {
     /// Assembles a sharded index from prebuilt shards (manifest load,
     /// tests, external construction). Validates that the shards' global
     /// ids exactly cover `0..total` — a wrong id map would silently
-    /// corrupt every merge.
+    /// corrupt every merge. Each shard's index becomes replica 0 of its
+    /// [`ReplicaSet`] (default [`BreakerConfig`]; see
+    /// [`with_breaker_config`](Self::with_breaker_config)).
     pub fn from_shards(shards: Vec<Shard<T>>, partitioner: Partitioner, dim: usize) -> Self {
         let len: usize = shards.iter().map(|s| s.globals.len()).sum();
         let mut seen = vec![false; len];
@@ -153,12 +191,61 @@ impl<T: VectorElem> ShardedIndex<T> {
                 );
             }
         }
+        let cfg = BreakerConfig::default();
+        let sets = Self::make_sets(&shards, cfg);
         ShardedIndex {
             shards,
+            sets,
             partitioner,
             dim,
             len,
         }
+    }
+
+    fn make_sets(shards: &[Shard<T>], cfg: BreakerConfig) -> Vec<ReplicaSet<T>> {
+        shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                // Distinct routing seed per slot so replica choices
+                // decorrelate across shards within one request.
+                let seed = parlay::hash64_pair(0x0005_ea1e_d5e7, s as u64);
+                ReplicaSet::new(Arc::clone(&shard.index), seed, cfg)
+            })
+            .collect()
+    }
+
+    /// Replaces every replica set's breaker thresholds. Resets the sets
+    /// to primaries only (call before [`add_replica`](Self::add_replica))
+    /// and restarts their call counters and breaker state.
+    pub fn with_breaker_config(mut self, cfg: BreakerConfig) -> Self {
+        self.sets = Self::make_sets(&self.shards, cfg);
+        self
+    }
+
+    /// Registers a bit-identical replica for shard slot `shard`. The
+    /// replica must present the same corpus as the shard's primary
+    /// (usually an `Arc` clone of the same build, possibly wrapped in
+    /// [`crate::FaultyIndex`] under test); length is checked against the
+    /// shard's id map. Replicas serve queries but are **not** persisted —
+    /// a manifest records primaries only.
+    pub fn add_replica(&mut self, shard: usize, replica: Arc<dyn AnnIndex<T> + Send + Sync>) {
+        assert_eq!(
+            replica.len(),
+            self.shards[shard].globals.len(),
+            "shard {shard}: replica size diverges from the shard's id map"
+        );
+        self.sets[shard].push(replica);
+    }
+
+    /// The replica sets, in shard order (health introspection).
+    pub fn replica_sets(&self) -> &[ReplicaSet<T>] {
+        &self.sets
+    }
+
+    /// Per-shard breaker states, in shard and replica order.
+    pub fn breaker_states(&self) -> Vec<Vec<BreakerState>> {
+        self.sets.iter().map(|s| s.breaker_states()).collect()
     }
 
     /// The shards, in storage order.
@@ -168,6 +255,8 @@ impl<T: VectorElem> ShardedIndex<T> {
 
     /// Decomposes into the shard vector (re-assemble any permutation via
     /// [`from_shards`](Self::from_shards) — results are order-invariant).
+    /// Added replicas and breaker state are dropped — only primaries
+    /// survive decomposition, mirroring what a manifest persists.
     pub fn into_shards(self) -> Vec<Shard<T>> {
         self.shards
     }
@@ -177,55 +266,102 @@ impl<T: VectorElem> ShardedIndex<T> {
         self.partitioner
     }
 
-    /// Fan-out + merge over already-computed per-shard batch results.
+    /// Fan-out + merge over per-shard batch results (`None` = that shard
+    /// was down). Every query's stats are stamped with the fan-out's
+    /// shard-health view: surviving count, failed mask, and the batch's
+    /// failover total (the failovers this response's batch paid for).
     fn merge_batches(
         &self,
-        per_shard: Vec<Vec<(Vec<(u32, f32)>, SearchStats)>>,
+        per_shard: Vec<Option<Vec<(Vec<(u32, f32)>, SearchStats)>>>,
+        failovers: u32,
         nq: usize,
         k: usize,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        let (probed, failed) = health(&per_shard);
         parlay::tabulate(nq, |q| {
             let lists: Vec<&[(u32, f32)]> = per_shard
                 .iter()
+                .flatten()
                 .map(|shard_res| shard_res[q].0.as_slice())
                 .collect();
-            let stats = merge_stats(per_shard.iter().map(|shard_res| shard_res[q].1));
+            let mut stats = merge_stats(per_shard.iter().flatten().map(|shard_res| shard_res[q].1));
+            stats.probed_shards = probed;
+            stats.failed_shards = failed;
+            stats.failovers = failovers;
             (merge_topk(&lists, k), stats)
         })
     }
 
-    /// Runs `run_shard` on every shard (sequentially — the per-shard
-    /// batch path is already parallel) and globalizes the ids.
-    fn fan_out_batch<F>(&self, run_shard: F) -> Vec<Vec<(Vec<(u32, f32)>, SearchStats)>>
+    /// Runs `run_shard` on one replica of every shard (sequentially — the
+    /// per-shard batch path is already parallel), failing over within
+    /// each [`ReplicaSet`] and globalizing the ids. Returns the
+    /// per-shard results (`None` = every replica down) and the total
+    /// failover count.
+    fn fan_out_batch<F>(
+        &self,
+        run_shard: F,
+    ) -> (Vec<Option<Vec<(Vec<(u32, f32)>, SearchStats)>>>, u32)
     where
-        F: Fn(&Shard<T>) -> Vec<(Vec<(u32, f32)>, SearchStats)>,
+        F: Fn(&dyn AnnIndex<T>) -> Vec<(Vec<(u32, f32)>, SearchStats)>,
     {
-        self.shards
+        let mut failovers = 0u32;
+        let per_shard = self
+            .shards
             .iter()
-            .map(|shard| {
-                let mut res = run_shard(shard);
+            .zip(&self.sets)
+            .map(|(shard, set)| {
+                let outcome = set.run(&run_shard)?;
+                failovers += outcome.failovers;
+                let mut res = outcome.value;
                 for (r, _) in &mut res {
                     globalize(r, &shard.globals);
                 }
-                res
+                Some(res)
             })
-            .collect()
+            .collect();
+        (per_shard, failovers)
     }
 }
 
+/// Surviving-shard count and failed-slot mask of a fan-out.
+fn health<R>(per_shard: &[Option<R>]) -> (u32, u64) {
+    let mut probed = 0u32;
+    let mut failed = 0u64;
+    for (s, res) in per_shard.iter().enumerate() {
+        match res {
+            Some(_) => probed += 1,
+            None => failed |= shard_bit(s),
+        }
+    }
+    (probed, failed)
+}
+
 impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
-    /// Single-query fan-out: shards searched in parallel on the pool,
-    /// merged by `(distance, global id)`.
+    /// Single-query fan-out: shards searched in parallel on the pool
+    /// (each through its replica set), merged by `(distance, global id)`
+    /// over whichever shards survive.
     fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
-        let per_shard: Vec<(Vec<(u32, f32)>, SearchStats)> =
+        let per_shard: Vec<Option<(Vec<(u32, f32)>, SearchStats, u32)>> =
             parlay::tabulate(self.shards.len(), |s| {
                 let shard = &self.shards[s];
-                let (mut res, stats) = shard.index.search(query, params);
+                let outcome = self.sets[s].run(|idx| idx.search(query, params))?;
+                let (mut res, stats) = outcome.value;
                 globalize(&mut res, &shard.globals);
-                (res, stats)
+                Some((res, stats, outcome.failovers))
             });
-        let (lists, stats): (Vec<_>, Vec<_>) = per_shard.into_iter().unzip();
-        (merge_topk(&lists, params.k), merge_stats(stats))
+        let (probed, failed) = health(&per_shard);
+        let mut lists = Vec::with_capacity(probed as usize);
+        let mut stats = SearchStats::default();
+        let mut failovers = 0u32;
+        for (res, st, f) in per_shard.into_iter().flatten() {
+            lists.push(res);
+            stats.merge(&st);
+            failovers += f;
+        }
+        stats.probed_shards = probed;
+        stats.failed_shards = failed;
+        stats.failovers = failovers;
+        (merge_topk(&lists, params.k), stats)
     }
 
     fn name(&self) -> String {
@@ -272,12 +408,9 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
         params: &QueryParams,
         block_size: usize,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
-        let per_shard = self.fan_out_batch(|shard| {
-            shard
-                .index
-                .search_batch_blocked(queries, params, block_size)
-        });
-        self.merge_batches(per_shard, queries.len(), params.k)
+        let (per_shard, failovers) =
+            self.fan_out_batch(|idx| idx.search_batch_blocked(queries, params, block_size));
+        self.merge_batches(per_shard, failovers, queries.len(), params.k)
     }
 
     /// Serving path: the fan-out happens **inside** the dispatched batch,
@@ -289,24 +422,36 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
         params: &QueryParams,
         engine: &QueryEngine<T>,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
-        let per_shard =
-            self.fan_out_batch(|shard| shard.index.search_batch_in(queries, params, engine));
-        self.merge_batches(per_shard, queries.len(), params.k)
+        let (per_shard, failovers) =
+            self.fan_out_batch(|idx| idx.search_batch_in(queries, params, engine));
+        self.merge_batches(per_shard, failovers, queries.len(), params.k)
     }
 
     /// Range fan-out: shards report independently (parallel), and the
     /// disjoint hit lists merge under the same total order (no `k`
     /// truncation — everything within the radius is reported).
     fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
-        let per_shard: Vec<(Vec<(u32, f32)>, SearchStats)> =
+        let per_shard: Vec<Option<(Vec<(u32, f32)>, SearchStats, u32)>> =
             parlay::tabulate(self.shards.len(), |s| {
                 let shard = &self.shards[s];
-                let (mut res, stats) = shard.index.range_search(query, params);
+                let outcome = self.sets[s].run(|idx| idx.range_search(query, params))?;
+                let (mut res, stats) = outcome.value;
                 globalize(&mut res, &shard.globals);
-                (res, stats)
+                Some((res, stats, outcome.failovers))
             });
-        let (lists, stats): (Vec<_>, Vec<_>) = per_shard.into_iter().unzip();
-        (merge_topk(&lists, usize::MAX), merge_stats(stats))
+        let (probed, failed) = health(&per_shard);
+        let mut lists = Vec::with_capacity(probed as usize);
+        let mut stats = SearchStats::default();
+        let mut failovers = 0u32;
+        for (res, st, f) in per_shard.into_iter().flatten() {
+            lists.push(res);
+            stats.merge(&st);
+            failovers += f;
+        }
+        stats.probed_shards = probed;
+        stats.failed_shards = failed;
+        stats.failovers = failovers;
+        (merge_topk(&lists, usize::MAX), stats)
     }
 
     /// Persists as a manifest **directory** at `path` (see

@@ -173,6 +173,219 @@ fn manifest_roundtrips_every_shardable_kind_mixed() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault tolerance: replica failover and degraded partial results.
+// ---------------------------------------------------------------------
+
+/// The healthy per-shard `(index, globals)` pairs kept aside by
+/// [`with_shard_down`] for reconstructing surviving-shard ground truth.
+type HealthyShards = Vec<(Arc<dyn AnnIndex<u8> + Send + Sync>, Vec<u32>)>;
+
+/// Rebuilds a store with shard `down`'s only replica wrapped in an
+/// always-panicking [`FaultyIndex`], keeping the healthy original around.
+fn with_shard_down(store: ShardedIndex<u8>, down: usize) -> (ShardedIndex<u8>, HealthyShards) {
+    use parlayann_store::{FaultPlan, FaultyIndex};
+    let partitioner = store.partitioner();
+    let dim = AnnIndex::dim(&store);
+    let healthy: HealthyShards = store
+        .shards()
+        .iter()
+        .map(|s| (Arc::clone(&s.index), s.globals.clone()))
+        .collect();
+    let shards: Vec<Shard<u8>> = store
+        .into_shards()
+        .into_iter()
+        .enumerate()
+        .map(|(s, shard)| Shard {
+            index: if s == down {
+                Arc::new(FaultyIndex::new(shard.index, FaultPlan::down()))
+            } else {
+                shard.index
+            },
+            globals: shard.globals,
+        })
+        .collect();
+    (ShardedIndex::from_shards(shards, partitioner, dim), healthy)
+}
+
+/// With one shard's every replica down, results must be **bit-identical**
+/// to a direct search over exactly the surviving shards (same merge,
+/// fewer inputs), and the stats must say which slot is missing.
+#[test]
+fn degraded_result_is_bitwise_equal_to_surviving_shard_search() {
+    parlayann_store::silence_injected_panics();
+    let d = bigann_like(500, 30, 77);
+    let metric = d.metric;
+    let store = exact_sharded(&d.points, metric, Partitioner::hash(4, 3));
+    let nshards = store.shards().len();
+    const DOWN: usize = 2;
+    let (store, healthy) = with_shard_down(store, DOWN);
+    let params = QueryParams {
+        k: 10,
+        ..QueryParams::default()
+    };
+
+    let batched = store.search_batch(&d.queries, &params);
+    for (q, batch_row) in batched.iter().enumerate() {
+        // Ground truth: fan out over the surviving shards only, globalize
+        // by hand, and run the very same k-way merge.
+        let lists: Vec<Vec<(u32, f32)>> = healthy
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| *s != DOWN)
+            .map(|(_, (index, globals))| {
+                let (mut res, _) = index.search(d.queries.point(q), &params);
+                for r in res.iter_mut() {
+                    r.0 = globals[r.0 as usize];
+                }
+                res
+            })
+            .collect();
+        let want = parlayann_store::merge_topk(&lists, params.k);
+
+        let (got, stats) = store.search(d.queries.point(q), &params);
+        assert_eq!(got.len(), want.len(), "query {q}");
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.0, b.0, "query {q}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "query {q}");
+        }
+        assert!(stats.degraded(), "query {q} must report degradation");
+        assert_eq!(stats.failed_shards, 1u64 << DOWN, "query {q}");
+        assert_eq!(stats.probed_shards, (nshards - 1) as u32, "query {q}");
+
+        // The batch path degrades identically.
+        assert_eq!(batch_row.0, got, "query {q}: batch vs single");
+        assert_eq!(batch_row.1.failed_shards, 1u64 << DOWN);
+    }
+}
+
+/// Flaky primaries + healthy replicas: every injected panic fails over
+/// and the merged results never change a bit relative to the all-healthy
+/// store. Nothing is ever degraded — that is the whole point of replicas.
+#[test]
+fn failover_to_replicas_is_invisible_in_the_bits() {
+    use parlayann_store::{BreakerConfig, FaultPlan, FaultyIndex};
+    parlayann_store::silence_injected_panics();
+    let d = bigann_like(400, 40, 2024);
+    let metric = d.metric;
+    let reference = exact_sharded(&d.points, metric, Partitioner::hash(3, 3));
+    let params = QueryParams {
+        k: 8,
+        ..QueryParams::default()
+    };
+    let want: Vec<_> = (0..d.queries.len())
+        .map(|q| reference.search(d.queries.point(q), &params).0)
+        .collect();
+
+    // Same shards, but every primary panics on ~30% of its calls; a
+    // healthy Arc-clone of each backs it as replica 1.
+    let partitioner = reference.partitioner();
+    let dim = AnnIndex::dim(&reference);
+    let healthy: Vec<Arc<dyn AnnIndex<u8> + Send + Sync>> = reference
+        .shards()
+        .iter()
+        .map(|s| Arc::clone(&s.index))
+        .collect();
+    let shards: Vec<Shard<u8>> = reference
+        .into_shards()
+        .into_iter()
+        .enumerate()
+        .map(|(s, shard)| Shard {
+            index: Arc::new(FaultyIndex::new(
+                shard.index,
+                FaultPlan::flaky(s as u64 + 1, 300),
+            )),
+            globals: shard.globals,
+        })
+        .collect();
+    let mut store =
+        ShardedIndex::from_shards(shards, partitioner, dim).with_breaker_config(BreakerConfig {
+            trip_after: 2,
+            probe_after: 8,
+        });
+    for (s, index) in healthy.into_iter().enumerate() {
+        store.add_replica(s, index);
+    }
+
+    let mut failovers = 0u64;
+    for (q, want) in want.iter().enumerate() {
+        let (got, stats) = store.search(d.queries.point(q), &params);
+        assert_eq!(&got, want, "query {q}: failover changed the bits");
+        assert!(!stats.degraded(), "query {q}: replicas cover every shard");
+        assert_eq!(stats.probed_shards, 3);
+        failovers += stats.failovers as u64;
+    }
+    assert!(
+        failovers > 0,
+        "a 30% panic rate must have exercised failover"
+    );
+}
+
+/// The determinism argument, end to end: an identical chaos run —
+/// same seeds, same request sequence — produces identical response
+/// fingerprints (neighbor bits, failed-shard masks, failover counts)
+/// at 1 and 8 threads, because fault schedules key on per-replica call
+/// counts, which sequential issue makes thread-invariant.
+#[test]
+fn chaos_run_is_bit_reproducible_across_thread_counts() {
+    fn chaos_fingerprint(threads: usize) -> Vec<u64> {
+        use parlayann_store::{BreakerConfig, FaultPlan, FaultyIndex};
+        parlayann_store::silence_injected_panics();
+        let d = bigann_like(300, 60, 909);
+        let metric = d.metric;
+        let base = exact_sharded(&d.points, metric, Partitioner::hash(4, 5));
+        let partitioner = base.partitioner();
+        let dim = AnnIndex::dim(&base);
+        let healthy: Vec<Arc<dyn AnnIndex<u8> + Send + Sync>> =
+            base.shards().iter().map(|s| Arc::clone(&s.index)).collect();
+        let shards: Vec<Shard<u8>> = base
+            .into_shards()
+            .into_iter()
+            .enumerate()
+            .map(|(s, shard)| Shard {
+                index: Arc::new(FaultyIndex::new(
+                    shard.index,
+                    FaultPlan::flaky(100 + s as u64, 250),
+                )),
+                globals: shard.globals,
+            })
+            .collect();
+        let mut store = ShardedIndex::from_shards(shards, partitioner, dim).with_breaker_config(
+            BreakerConfig {
+                trip_after: 2,
+                probe_after: 4,
+            },
+        );
+        // Shard 0 gets no healthy replica (it can actually go down);
+        // the rest fail over to clean copies.
+        for (s, index) in healthy.into_iter().enumerate().skip(1) {
+            store.add_replica(s, index);
+        }
+        let params = QueryParams {
+            k: 6,
+            ..QueryParams::default()
+        };
+        parlay::with_threads(threads, || {
+            let mut fp = Vec::new();
+            for q in 0..d.queries.len() {
+                let (res, stats) = store.search(d.queries.point(q), &params);
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for (id, dist) in &res {
+                    h = (h ^ *id as u64).wrapping_mul(0x100_0000_01b3);
+                    h = (h ^ dist.to_bits() as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                h = (h ^ stats.failed_shards).wrapping_mul(0x100_0000_01b3);
+                h = (h ^ stats.failovers as u64).wrapping_mul(0x100_0000_01b3);
+                fp.push(h);
+            }
+            fp
+        })
+    }
+    let fp1 = chaos_fingerprint(1);
+    let fp8 = chaos_fingerprint(8);
+    assert_eq!(fp1, fp8, "chaos fingerprints diverge across thread counts");
+}
+
 /// Nesting: a shard may itself be sharded; the merge order composes.
 #[test]
 fn nested_sharded_store_stays_exact() {

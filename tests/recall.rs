@@ -104,6 +104,48 @@ fn sharded_vamana_recall_floor() {
 }
 
 #[test]
+fn degraded_sharded_recall_floor() {
+    // Fault-tolerance quality contract: a 4-shard k-means store (the
+    // clustered corpus maps ~1 cluster group per shard) serving with one
+    // shard entirely down must still clear recall@10 ≥ 0.70 — degraded
+    // answers come from the surviving shards' corpus, so roughly a
+    // quarter of the ground truth is unreachable in the worst case.
+    use parlayann_suite::store::{FaultPlan, FaultyIndex, Partitioner, Shard, ShardedIndex};
+    use std::sync::Arc;
+
+    parlayann_suite::store::silence_injected_panics();
+    let d = data();
+    let metric = d.metric;
+    let vparams = VamanaParams::default();
+    let store = ShardedIndex::build_with(&d.points, Partitioner::kmeans(4, 7), |_, ps| {
+        Arc::new(VamanaIndex::build(ps, metric, &vparams)) as Arc<dyn AnnIndex<u8> + Send + Sync>
+    });
+    let partitioner = store.partitioner();
+    let dim = AnnIndex::dim(&store);
+    let shards: Vec<Shard<u8>> = store
+        .into_shards()
+        .into_iter()
+        .enumerate()
+        .map(|(s, shard)| Shard {
+            index: if s == 0 {
+                Arc::new(FaultyIndex::new(shard.index, FaultPlan::down()))
+            } else {
+                shard.index
+            },
+            globals: shard.globals,
+        })
+        .collect();
+    let degraded = ShardedIndex::from_shards(shards, partitioner, dim);
+    // Measured at introduction (shard 0 of 4 k-means shards down): see
+    // the printed value; the 0.70 floor is the serving-tier guarantee.
+    assert_floor(
+        "sharded-vamana-degraded",
+        measured_recall(&degraded, 64),
+        0.70,
+    );
+}
+
+#[test]
 fn ivf_recall_floor() {
     let d = data();
     let index = IvfIndex::build(

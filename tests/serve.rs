@@ -43,6 +43,7 @@ fn eight_clients_get_bit_identical_responses() {
             params,
             max_block: 16,
             workers: 2,
+            max_queue: 0,
         },
     ));
 
@@ -163,6 +164,7 @@ fn reload_under_load_answers_every_request_against_its_generation() {
             params,
             max_block: 16,
             workers: 2,
+            max_queue: 0,
         },
     ));
     let completed = Arc::new(AtomicU64::new(0));
@@ -263,6 +265,217 @@ fn reload_under_load_answers_every_request_against_its_generation() {
 }
 
 #[test]
+fn chaos_stress_answers_or_sheds_every_request_with_degraded_bit_identity() {
+    // The fault-tolerant serving tier under seeded chaos: a 4-shard store
+    // where every primary panics on a seeded schedule (some calls also
+    // sleep), shards 0–2 fail over to healthy replicas, and shard 3 has
+    // no replica — so it really goes down and comes back through its
+    // breaker's probation cycle. 8 clients × 1k requests, admission
+    // control on. The contract under all of that:
+    //
+    //   * every submitted request is answered or explicitly shed, exactly
+    //     once — no client ever hangs;
+    //   * every response is **bitwise equal** to a direct merge over
+    //     exactly the shards its own failed-shard mask says survived
+    //     (degraded answers are partial, never wrong);
+    //   * the failover/degraded/shed counters account for what happened.
+    use parlayann_suite::serve::Rejected;
+    use parlayann_suite::store::{
+        merge_topk, BreakerConfig, FaultPlan, FaultyIndex, Partitioner, Shard, ShardedIndex,
+    };
+
+    parlayann_suite::store::silence_injected_panics();
+    let data = bigann_like(900, 250, 7777);
+    let metric = data.metric;
+    let params = QueryParams {
+        k: 10,
+        beam: 32,
+        ..QueryParams::default()
+    };
+    let vparams = VamanaParams::default();
+    let healthy_store =
+        ShardedIndex::build_with(&data.points, Partitioner::hash(4, 11), |_, ps| {
+            Arc::new(VamanaIndex::build(ps, metric, &vparams))
+                as Arc<dyn AnnIndex<u8> + Send + Sync>
+        });
+
+    // Per-shard reference rows, globalized: the building blocks for
+    // reconstructing the expected bits of ANY surviving-shard subset.
+    let shard_refs: Vec<Vec<Vec<(u32, f32)>>> = healthy_store
+        .shards()
+        .iter()
+        .map(|shard| {
+            shard
+                .index
+                .search_batch(&data.queries, &params)
+                .into_iter()
+                .map(|(mut res, _)| {
+                    for r in res.iter_mut() {
+                        r.0 = shard.globals[r.0 as usize];
+                    }
+                    res
+                })
+                .collect()
+        })
+        .collect();
+
+    // Chaos topology: flaky primaries everywhere (shard 1's also sleeps
+    // sometimes), healthy replicas behind shards 0–2 only.
+    let healthy: Vec<Arc<dyn AnnIndex<u8> + Send + Sync>> = healthy_store
+        .shards()
+        .iter()
+        .map(|s| Arc::clone(&s.index))
+        .collect();
+    let partitioner = healthy_store.partitioner();
+    let dim = AnnIndex::dim(&healthy_store);
+    let shards: Vec<Shard<u8>> = healthy_store
+        .into_shards()
+        .into_iter()
+        .enumerate()
+        .map(|(s, shard)| {
+            let mut plan = FaultPlan::flaky(31 + s as u64, 200);
+            if s == 1 {
+                plan = plan.with_delay(77, 100, Duration::from_micros(300));
+            }
+            Shard {
+                index: Arc::new(FaultyIndex::new(shard.index, plan)),
+                globals: shard.globals,
+            }
+        })
+        .collect();
+    let mut store =
+        ShardedIndex::from_shards(shards, partitioner, dim).with_breaker_config(BreakerConfig {
+            trip_after: 2,
+            probe_after: 16,
+        });
+    for (s, index) in healthy.into_iter().enumerate().take(3) {
+        store.add_replica(s, index);
+    }
+
+    let server = Arc::new(Server::start(
+        Arc::new(store),
+        ServerConfig {
+            params,
+            max_block: 16,
+            workers: 2,
+            max_queue: 256,
+        },
+    ));
+
+    let nq = data.queries.len();
+    let (errors, shed_total, degraded_total): (Vec<String>, u64, u64) =
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for client in 0..CLIENTS {
+                let server = Arc::clone(&server);
+                let queries = &data.queries;
+                let shard_refs = &shard_refs;
+                joins.push(scope.spawn(move || {
+                    let mut errors = Vec::new();
+                    let mut shed = 0u64;
+                    let mut degraded = 0u64;
+                    const WAVE: usize = 50;
+                    let mut sent = 0;
+                    while sent < QUERIES_PER_CLIENT {
+                        let wave: Vec<(usize, _)> = (sent..(sent + WAVE).min(QUERIES_PER_CLIENT))
+                            .filter_map(|i| {
+                                let q = (client * 13 + i * 17) % nq;
+                                match server.submit(
+                                    queries.point(q),
+                                    10,
+                                    Duration::from_micros(200),
+                                ) {
+                                    Ok(handle) => Some((q, handle)),
+                                    Err(Rejected::Shed { .. }) => {
+                                        // Explicitly refused at admission:
+                                        // that IS this request's answer.
+                                        shed += 1;
+                                        None
+                                    }
+                                    Err(e) => panic!("unexpected rejection: {e}"),
+                                }
+                            })
+                            .collect();
+                        sent += WAVE.min(QUERIES_PER_CLIENT - sent);
+                        for (q, handle) in wave {
+                            let resp = handle.wait();
+                            // Reconstruct the expected bits for exactly the
+                            // surviving set this response reports.
+                            let lists: Vec<&[(u32, f32)]> = shard_refs
+                                .iter()
+                                .enumerate()
+                                .filter(|(s, _)| resp.stats.failed_shards & (1 << s) == 0)
+                                .map(|(_, rows)| rows[q].as_slice())
+                                .collect();
+                            let want = merge_topk(&lists, 10);
+                            if resp.degraded != (resp.stats.failed_shards != 0)
+                                || resp.probed_shards != 4 - resp.stats.failed_shards.count_ones()
+                            {
+                                errors.push(format!(
+                                    "client {client}: query {q}: inconsistent degradation \
+                                     reporting: {resp:?}"
+                                ));
+                            }
+                            degraded += resp.degraded as u64;
+                            if resp.neighbors.len() != want.len()
+                                || resp
+                                    .neighbors
+                                    .iter()
+                                    .zip(&want)
+                                    .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits())
+                            {
+                                errors.push(format!(
+                                    "client {client}: query {q} (mask {:#b}) diverged from \
+                                     surviving-shard ground truth: {:?} != {want:?}",
+                                    resp.stats.failed_shards, resp.neighbors
+                                ));
+                            }
+                        }
+                    }
+                    (errors, shed, degraded)
+                }));
+            }
+            let mut errors = Vec::new();
+            let (mut shed, mut degraded) = (0, 0);
+            for j in joins {
+                let (e, s, d) = j.join().unwrap();
+                errors.extend(e);
+                shed += s;
+                degraded += d;
+            }
+            (errors, shed, degraded)
+        });
+    assert!(
+        errors.is_empty(),
+        "{} divergences, first: {}",
+        errors.len(),
+        errors[0]
+    );
+
+    // Exactly-once accounting: answered + shed = everything submitted.
+    let total = (CLIENTS * QUERIES_PER_CLIENT) as u64;
+    let mut server = Arc::into_inner(server).expect("all clients done");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.submitted + shed_total, total);
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "an accepted request was lost"
+    );
+    assert_eq!(stats.shed, shed_total);
+    assert_eq!(stats.degraded, degraded_total);
+    assert!(
+        stats.failovers > 0,
+        "flaky primaries with healthy replicas must have failed over"
+    );
+    assert!(
+        degraded_total > 0,
+        "shard 3 has no replica and must have gone down at least once"
+    );
+    assert_eq!(stats.isolated_failures, 0, "no panic may escape the store");
+}
+
+#[test]
 fn shutdown_under_load_answers_every_request() {
     // Submit a burst, shut down immediately: the drain must answer every
     // accepted request (bit-identically), and late submits are refused.
@@ -284,6 +497,7 @@ fn shutdown_under_load_answers_every_request() {
             params,
             max_block: 8,
             workers: 2,
+            max_queue: 0,
         },
     );
     let handles: Vec<_> = (0..data.queries.len())
