@@ -22,10 +22,12 @@ pub mod kmeans;
 pub mod locked;
 pub mod lsh;
 pub mod pq;
+pub mod pq4;
 pub mod quantized;
 
 pub use ivf::{IvfIndex, IvfParams};
 pub use kmeans::KMeans;
 pub use lsh::{LshIndex, LshParams};
 pub use pq::{PqParams, ProductQuantizer};
-pub use quantized::{PqVamanaIndex, PqVamanaParams};
+pub use pq4::{Lut4, Pq4Params, ProductQuantizer4};
+pub use quantized::{AdcScorer, Pq4VamanaIndex, Pq4VamanaParams, PqVamanaIndex, PqVamanaParams};

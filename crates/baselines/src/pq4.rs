@@ -1,0 +1,678 @@
+//! 4-bit product quantization with in-register shuffle-LUT ADC scans.
+//!
+//! The 8-bit quantizer ([`crate::pq`]) walks an `m × 256` f32 table one
+//! gathered entry at a time — a serial chain of L1 loads. This module is
+//! the FAISS "fast scan" idea instead: 16-entry codebooks whose per-query
+//! lookup tables are quantized to `u8` and held **in registers**, so one
+//! `vpshufb` looks up 32 codes at once (64 with AVX-512BW):
+//!
+//! * **Codes** — each subspace quantizes to one of 16 centroids, so a
+//!   code is a nibble; two adjacent subspaces pack into one byte. With
+//!   twice the subspaces of the 8-bit default (`m = 32` vs 16 at d = 128)
+//!   the bytes-per-vector cost is identical.
+//! * **Transposed group layout** — codes are stored in groups of 32
+//!   points: for each subspace pair `p`, 32 consecutive bytes hold byte
+//!   `p` of points `0..32` (low nibble = subspace `2p`, high = `2p+1`).
+//!   A 32-byte load therefore yields one subspace pair across a whole
+//!   group, exactly what `_mm256_shuffle_epi8` wants as indices.
+//! * **Quantized LUTs** — the per-query f32 table (`m × 16`) is mapped to
+//!   `u8` entries via a shared scale: `bias = Σ_s min_s`, `Δ = max_s
+//!   max_c (t[s][c] − min_s) / 255`, `entry = round((t − min_s)/Δ)`.
+//!   A scanned distance is `bias + Δ · Σ entries` — the integer sum is
+//!   exact (`u16` cannot overflow for `m ≤ 256`), so the scalar
+//!   reference scan and both vector scans are **bit-identical**; only
+//!   the f32→u8 table quantization is lossy.
+//!
+//! The scan kernels dispatch on [`ann_data::simd::simd_level`]: AVX-512BW
+//! scans two subspace pairs (64 codes) per shuffle, AVX2 one pair (32
+//! codes), SSE2 and scalar fall back to the reference loop (`pshufb`
+//! needs SSSE3, which the SSE2 baseline tier does not guarantee).
+
+use crate::kmeans::{self, KMeans};
+use ann_data::{Metric, PointSet, VectorElem};
+use rayon::prelude::*;
+
+/// Points per transposed code group — one `vpshufb`'s worth.
+pub const GROUP: usize = 32;
+
+/// Training parameters for [`ProductQuantizer4`].
+#[derive(Clone, Copy, Debug)]
+pub struct Pq4Params {
+    /// Requested number of subquantizers. Rounded down to the largest
+    /// divisor of the dimension ≤ `min(m, 256)` (256 is the exact-`u16`
+    /// accumulation bound).
+    pub m: usize,
+    /// k-means iterations per codebook.
+    pub train_iters: usize,
+    /// Training sample size.
+    pub train_sample: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Pq4Params {
+    fn default() -> Self {
+        Pq4Params {
+            // Twice the 8-bit default: same bytes/vector at half the bits
+            // per subspace.
+            m: 32,
+            train_iters: 8,
+            train_sample: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained 4-bit product quantizer (16 codewords per subspace).
+#[derive(Clone, Debug)]
+pub struct ProductQuantizer4 {
+    codebooks: Vec<KMeans>,
+    dsub: usize,
+    dim: usize,
+}
+
+/// A per-query quantized lookup table, shuffle-ready.
+///
+/// `entries` is `pairs() × 32` bytes: for subspace pair `p`, bytes
+/// `p*32..p*32+16` are subspace `2p`'s table and `p*32+16..p*32+32`
+/// subspace `2p+1`'s (zeros for the virtual odd subspace when `m` is
+/// odd). A code group's integer scan sum `S` converts to a distance as
+/// `bias + delta · S`.
+#[derive(Clone, Debug)]
+pub struct Lut4 {
+    /// Quantized table entries, `pairs × 32`.
+    pub entries: Vec<u8>,
+    /// Sum of per-subspace minima (added back after the integer scan).
+    pub bias: f32,
+    /// Shared quantization step.
+    pub delta: f32,
+}
+
+impl Lut4 {
+    /// Converts an exact integer scan sum into the approximate distance.
+    #[inline]
+    pub fn distance(&self, sum: u16) -> f32 {
+        self.bias + self.delta * sum as f32
+    }
+}
+
+impl ProductQuantizer4 {
+    /// Trains 16-entry codebooks from `points`.
+    pub fn train<T: VectorElem>(points: &PointSet<T>, params: &Pq4Params) -> Self {
+        let dim = points.dim();
+        assert!(dim > 0);
+        let mut m = params.m.min(dim).clamp(1, 256);
+        while !dim.is_multiple_of(m) {
+            m -= 1;
+        }
+        let dsub = dim / m;
+        let sample_n = params.train_sample.min(points.len());
+        let codebooks: Vec<KMeans> = (0..m)
+            .into_par_iter()
+            .map(|s| {
+                let mut data = Vec::with_capacity(sample_n * dsub);
+                for i in 0..sample_n {
+                    let p = points.point(i);
+                    for j in 0..dsub {
+                        data.push(p[s * dsub + j].to_f32());
+                    }
+                }
+                let sub = PointSet::new(data, dsub);
+                kmeans::train(
+                    &sub,
+                    16,
+                    params.train_iters,
+                    sample_n,
+                    params.seed ^ s as u64,
+                )
+            })
+            .collect();
+        ProductQuantizer4 {
+            codebooks,
+            dsub,
+            dim,
+        }
+    }
+
+    /// Number of subquantizers.
+    pub fn m(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Full dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of packed subspace pairs (= code bytes per vector).
+    pub fn pairs(&self) -> usize {
+        self.m().div_ceil(2)
+    }
+
+    /// Code size in bytes per vector (two subspaces per byte).
+    pub fn code_len(&self) -> usize {
+        self.pairs()
+    }
+
+    /// Encodes one vector into `pairs()` packed nibble bytes (low nibble
+    /// = even subspace, high = odd; high nibble of the last byte is 0
+    /// when `m` is odd).
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim);
+        let nibble = |s: usize| -> u8 {
+            self.codebooks[s].nearest(&v[s * self.dsub..(s + 1) * self.dsub]) as u8
+        };
+        (0..self.pairs())
+            .map(|p| {
+                let lo = nibble(2 * p);
+                let hi = if 2 * p + 1 < self.m() {
+                    nibble(2 * p + 1)
+                } else {
+                    0
+                };
+                lo | (hi << 4)
+            })
+            .collect()
+    }
+
+    /// Reconstructs an approximation from a packed code.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.pairs());
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, cb) in self.codebooks.iter().enumerate() {
+            let c = if s % 2 == 0 {
+                code[s / 2] & 0x0f
+            } else {
+                code[s / 2] >> 4
+            };
+            out.extend_from_slice(cb.centroid(c as usize));
+        }
+        out
+    }
+
+    /// The raw f32 ADC table for a query: `m × 16` partial distances
+    /// (same metric conventions as the 8-bit quantizer's
+    /// [`crate::pq::ProductQuantizer::adc_table`]).
+    pub fn adc_table(&self, q: &[f32], metric: Metric) -> Vec<f32> {
+        assert_eq!(q.len(), self.dim);
+        let mut table = vec![0.0f32; self.m() * 16];
+        for (s, cb) in self.codebooks.iter().enumerate() {
+            let qs = &q[s * self.dsub..(s + 1) * self.dsub];
+            for c in 0..cb.k() {
+                let cen = cb.centroid(c);
+                let v = match metric {
+                    Metric::InnerProduct => -ann_data::dot(qs, cen),
+                    _ => ann_data::squared_euclidean(qs, cen),
+                };
+                table[s * 16 + c] = v;
+            }
+        }
+        table
+    }
+
+    /// Quantizes a raw table into the shuffle-ready [`Lut4`].
+    pub fn quantize_table(&self, table: &[f32]) -> Lut4 {
+        let m = self.m();
+        assert_eq!(table.len(), m * 16);
+        let mut mins = vec![0.0f32; m];
+        let mut range = 0.0f32;
+        let mut bias = 0.0f32;
+        for s in 0..m {
+            let row = &table[s * 16..(s + 1) * 16];
+            let min = row.iter().copied().fold(f32::INFINITY, f32::min);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            mins[s] = min;
+            bias += min;
+            range = range.max(max - min);
+        }
+        let delta = if range > 0.0 { range / 255.0 } else { 1.0 };
+        let mut entries = vec![0u8; self.pairs() * 32];
+        for s in 0..m {
+            let base = (s / 2) * 32 + (s % 2) * 16;
+            for c in 0..16 {
+                let q = ((table[s * 16 + c] - mins[s]) / delta).round();
+                entries[base + c] = q.clamp(0.0, 255.0) as u8;
+            }
+        }
+        Lut4 {
+            entries,
+            bias,
+            delta,
+        }
+    }
+
+    /// Builds the lut for a query in one step.
+    pub fn lut(&self, q: &[f32], metric: Metric) -> Lut4 {
+        self.quantize_table(&self.adc_table(q, metric))
+    }
+
+    /// Encodes every point and transposes the codes into group layout:
+    /// `ceil(n/32) × pairs × 32` bytes, zero-padded past `n`. Also
+    /// returns the per-point packed codes (`n × pairs`) for on-the-fly
+    /// group gathering.
+    pub fn encode_all<T: VectorElem>(&self, points: &PointSet<T>) -> (Vec<u8>, Vec<u8>) {
+        let n = points.len();
+        let pairs = self.pairs();
+        let codes: Vec<u8> = (0..n)
+            .into_par_iter()
+            .flat_map_iter(|i| self.encode(&kmeans::to_f32_vec(points.point(i))))
+            .collect();
+        debug_assert_eq!(codes.len(), n * pairs);
+        let n_groups = n.div_ceil(GROUP);
+        let mut grouped = vec![0u8; n_groups * pairs * GROUP];
+        for (i, code) in codes.chunks_exact(pairs).enumerate() {
+            let g = i / GROUP;
+            let j = i % GROUP;
+            for (p, &byte) in code.iter().enumerate() {
+                grouped[(g * pairs + p) * GROUP + j] = byte;
+            }
+        }
+        (grouped, codes)
+    }
+}
+
+/// Packs ≤ 32 per-point codes (each `pairs` bytes, gathered from
+/// anywhere) into one transposed group buffer (`pairs × 32`, zero-padded
+/// past `count`). `gbuf` is reused; it is resized and fully overwritten.
+#[inline]
+pub fn gather_group(codes: &[u8], pairs: usize, ids: &[u32], gbuf: &mut Vec<u8>) {
+    debug_assert!(ids.len() <= GROUP);
+    gbuf.clear();
+    gbuf.resize(pairs * GROUP, 0);
+    for (j, &id) in ids.iter().enumerate() {
+        let src = &codes[id as usize * pairs..(id as usize + 1) * pairs];
+        for (p, &byte) in src.iter().enumerate() {
+            gbuf[p * GROUP + j] = byte;
+        }
+    }
+}
+
+/// Reference scan: exact `u16` partial-distance sums for the 32 points of
+/// one transposed group. The vector scans below are bit-identical to
+/// this (all paths accumulate the same `u8` entries exactly).
+pub fn scan_group_scalar(entries: &[u8], group: &[u8], pairs: usize, sums: &mut [u16; GROUP]) {
+    debug_assert!(entries.len() >= pairs * 32 && group.len() >= pairs * GROUP);
+    sums.fill(0);
+    for p in 0..pairs {
+        let lut_lo = &entries[p * 32..p * 32 + 16];
+        let lut_hi = &entries[p * 32 + 16..p * 32 + 32];
+        let codes = &group[p * GROUP..(p + 1) * GROUP];
+        for (j, &byte) in codes.iter().enumerate() {
+            sums[j] += lut_lo[(byte & 0x0f) as usize] as u16 + lut_hi[(byte >> 4) as usize] as u16;
+        }
+    }
+}
+
+/// Per-point 4-bit ADC over one packed code — the unbatched reference
+/// (used by tests; the index always scans whole groups).
+pub fn adc_sum_packed(entries: &[u8], code: &[u8]) -> u16 {
+    let mut s = 0u16;
+    for (p, &byte) in code.iter().enumerate() {
+        s += entries[p * 32 + (byte & 0x0f) as usize] as u16
+            + entries[p * 32 + 16 + (byte >> 4) as usize] as u16;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_scan {
+    use super::GROUP;
+    use std::arch::x86_64::*;
+
+    /// AVX2 shuffle scan: per subspace pair, one 32-byte code load + two
+    /// `vpshufb` lookups cover all 32 points; `u16` accumulation in two
+    /// registers with the fixed unpack lane mapping (bytes `0..8`/`16..24`
+    /// → `acc_lo`, `8..16`/`24..32` → `acc_hi`).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support; slices must hold at least
+    /// `pairs * 32` bytes each.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scan_group_avx2(
+        entries: &[u8],
+        group: &[u8],
+        pairs: usize,
+        sums: &mut [u16; GROUP],
+    ) {
+        debug_assert!(entries.len() >= pairs * 32 && group.len() >= pairs * GROUP);
+        let low = _mm256_set1_epi8(0x0f);
+        let zero = _mm256_setzero_si256();
+        let mut acc_lo = zero;
+        let mut acc_hi = zero;
+        for p in 0..pairs {
+            let codes = _mm256_loadu_si256(group.as_ptr().add(p * GROUP) as *const __m256i);
+            let lo = _mm256_and_si256(codes, low);
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(codes), low);
+            let lut_e = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                entries.as_ptr().add(p * 32) as *const __m128i
+            ));
+            let lut_o = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                entries.as_ptr().add(p * 32 + 16) as *const __m128i,
+            ));
+            let pe = _mm256_shuffle_epi8(lut_e, lo);
+            let po = _mm256_shuffle_epi8(lut_o, hi);
+            acc_lo = _mm256_add_epi16(acc_lo, _mm256_unpacklo_epi8(pe, zero));
+            acc_hi = _mm256_add_epi16(acc_hi, _mm256_unpackhi_epi8(pe, zero));
+            acc_lo = _mm256_add_epi16(acc_lo, _mm256_unpacklo_epi8(po, zero));
+            acc_hi = _mm256_add_epi16(acc_hi, _mm256_unpackhi_epi8(po, zero));
+        }
+        // Undo the unpack interleave in-register: point j's sum sits at
+        // u16 slot [lo.lane0 | hi.lane0 | lo.lane1 | hi.lane1][j], which
+        // two 128-bit-lane permutes produce directly — no scalar
+        // untangle loop per group.
+        let r0 = _mm256_permute2x128_si256::<0x20>(acc_lo, acc_hi);
+        let r1 = _mm256_permute2x128_si256::<0x31>(acc_lo, acc_hi);
+        _mm256_storeu_si256(sums.as_mut_ptr() as *mut __m256i, r0);
+        _mm256_storeu_si256(sums.as_mut_ptr().add(16) as *mut __m256i, r1);
+    }
+
+    /// AVX-512BW shuffle scan: two subspace pairs (64 code bytes) per
+    /// iteration — each shuffle looks up 64 codes. The two 256-bit halves
+    /// carry the same 32 points' partials for adjacent pairs and are
+    /// summed at the end; a trailing odd pair is added by the scalar
+    /// reference loop (identical integers either way).
+    ///
+    /// # Safety
+    /// Caller must have verified AVX-512BW support; slices must hold at
+    /// least `pairs * 32` bytes each.
+    #[target_feature(enable = "avx512bw")]
+    pub unsafe fn scan_group_avx512(
+        entries: &[u8],
+        group: &[u8],
+        pairs: usize,
+        sums: &mut [u16; GROUP],
+    ) {
+        debug_assert!(entries.len() >= pairs * 32 && group.len() >= pairs * GROUP);
+        let low = _mm512_set1_epi8(0x0f);
+        let zero = _mm512_setzero_si512();
+        let mut acc_lo = zero;
+        let mut acc_hi = zero;
+        for q in 0..pairs / 2 {
+            let p = q * 2;
+            let codes = _mm512_loadu_si512(group.as_ptr().add(p * GROUP) as *const __m512i);
+            let lo = _mm512_and_si512(codes, low);
+            let hi = _mm512_and_si512(_mm512_srli_epi16::<4>(codes), low);
+            // 128-bit lanes [e(p), e(p), e(p+1), e(p+1)]: each half gets
+            // its own pair's table broadcast to both halves' lanes.
+            let be = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                entries.as_ptr().add(p * 32) as *const __m128i
+            ));
+            let be1 = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                entries.as_ptr().add((p + 1) * 32) as *const __m128i,
+            ));
+            let lut_e = _mm512_inserti64x4(_mm512_castsi256_si512(be), be1, 1);
+            let bo = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                entries.as_ptr().add(p * 32 + 16) as *const __m128i,
+            ));
+            let bo1 = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                entries.as_ptr().add((p + 1) * 32 + 16) as *const __m128i,
+            ));
+            let lut_o = _mm512_inserti64x4(_mm512_castsi256_si512(bo), bo1, 1);
+            let pe = _mm512_shuffle_epi8(lut_e, lo);
+            let po = _mm512_shuffle_epi8(lut_o, hi);
+            acc_lo = _mm512_add_epi16(acc_lo, _mm512_unpacklo_epi8(pe, zero));
+            acc_hi = _mm512_add_epi16(acc_hi, _mm512_unpackhi_epi8(pe, zero));
+            acc_lo = _mm512_add_epi16(acc_lo, _mm512_unpacklo_epi8(po, zero));
+            acc_hi = _mm512_add_epi16(acc_hi, _mm512_unpackhi_epi8(po, zero));
+        }
+        // The upper 256-bit halves hold the same points' partials for the
+        // second pair of each iteration: fold them down with one u16 add,
+        // then undo the unpack interleave with two 128-bit-lane permutes
+        // (as in the AVX2 scan) — no scalar untangle loop per group.
+        let lo256 = _mm256_add_epi16(
+            _mm512_castsi512_si256(acc_lo),
+            _mm512_extracti64x4_epi64::<1>(acc_lo),
+        );
+        let hi256 = _mm256_add_epi16(
+            _mm512_castsi512_si256(acc_hi),
+            _mm512_extracti64x4_epi64::<1>(acc_hi),
+        );
+        let r0 = _mm256_permute2x128_si256::<0x20>(lo256, hi256);
+        let r1 = _mm256_permute2x128_si256::<0x31>(lo256, hi256);
+        _mm256_storeu_si256(sums.as_mut_ptr() as *mut __m256i, r0);
+        _mm256_storeu_si256(sums.as_mut_ptr().add(16) as *mut __m256i, r1);
+        if pairs % 2 == 1 {
+            let p = pairs - 1;
+            let lut_lo = &entries[p * 32..p * 32 + 16];
+            let lut_hi = &entries[p * 32 + 16..p * 32 + 32];
+            let codes = &group[p * GROUP..(p + 1) * GROUP];
+            for (j, &byte) in codes.iter().enumerate() {
+                sums[j] +=
+                    lut_lo[(byte & 0x0f) as usize] as u16 + lut_hi[(byte >> 4) as usize] as u16;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use x86_scan::{scan_group_avx2, scan_group_avx512};
+
+/// Dispatched group scan: exact `u16` sums for one transposed group, via
+/// the best available shuffle kernel. All tiers produce identical
+/// integers (the scans are exact), so dispatch is unobservable in
+/// results — the property tests assert this bit-for-bit.
+#[inline]
+pub fn scan_group(entries: &[u8], group: &[u8], pairs: usize, sums: &mut [u16; GROUP]) {
+    match ann_data::simd::simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the dispatcher only reports a tier the CPU supports.
+        ann_data::simd::SimdLevel::Avx512 => unsafe {
+            scan_group_avx512(entries, group, pairs, sums)
+        },
+        #[cfg(target_arch = "x86_64")]
+        ann_data::simd::SimdLevel::Avx2 => unsafe { scan_group_avx2(entries, group, pairs, sums) },
+        _ => scan_group_scalar(entries, group, pairs, sums),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ann_data::bigann_like;
+    use kmeans::to_f32_vec;
+
+    fn trained() -> (ann_data::Dataset<u8>, ProductQuantizer4) {
+        let d = bigann_like(1_200, 10, 9);
+        let pq = ProductQuantizer4::train(
+            &d.points,
+            &Pq4Params {
+                train_iters: 5,
+                train_sample: 1_000,
+                seed: 1,
+                ..Pq4Params::default()
+            },
+        );
+        (d, pq)
+    }
+
+    #[test]
+    fn shapes_and_packing() {
+        let (d, pq) = trained();
+        assert_eq!(pq.m(), 32);
+        assert_eq!(pq.pairs(), 16);
+        assert_eq!(pq.code_len(), 16);
+        let code = pq.encode(&to_f32_vec(d.points.point(0)));
+        assert_eq!(code.len(), 16);
+        let (grouped, codes) = pq.encode_all(&d.points);
+        assert_eq!(codes.len(), 1_200 * 16);
+        assert_eq!(grouped.len(), 1_200usize.div_ceil(32) * 16 * 32);
+        // Transposition round-trip: group layout byte = per-point byte.
+        for i in [0usize, 1, 31, 32, 1_199] {
+            let (g, j) = (i / 32, i % 32);
+            for p in 0..16 {
+                assert_eq!(grouped[(g * 16 + p) * 32 + j], codes[i * 16 + p]);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let (d, pq) = trained();
+        let mut err = 0.0f64;
+        let mut base = 0.0f64;
+        for i in 0..200 {
+            let v = to_f32_vec(d.points.point(i));
+            let rec = pq.decode(&pq.encode(&v));
+            err += v
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum::<f64>();
+            let other = to_f32_vec(d.points.point((i + 500) % 1_200));
+            base += v
+                .iter()
+                .zip(&other)
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum::<f64>();
+        }
+        assert!(err < base * 0.6, "PQ4 error {err} vs baseline {base}");
+    }
+
+    #[test]
+    fn quantized_lut_tracks_raw_table() {
+        let (d, pq) = trained();
+        let q = to_f32_vec(d.queries.point(0));
+        let table = pq.adc_table(&q, Metric::SquaredEuclidean);
+        let lut = pq.quantize_table(&table);
+        let code = pq.encode(&to_f32_vec(d.points.point(7)));
+        // Raw-table ADC.
+        let mut raw = 0.0f32;
+        for s in 0..pq.m() {
+            let c = if s % 2 == 0 {
+                code[s / 2] & 0x0f
+            } else {
+                code[s / 2] >> 4
+            };
+            raw += table[s * 16 + c as usize];
+        }
+        let approx = lut.distance(adc_sum_packed(&lut.entries, &code));
+        // Quantization error bound: Δ/2 per subspace.
+        let bound = lut.delta * 0.5 * pq.m() as f32 + 1e-3;
+        assert!(
+            (raw - approx).abs() <= bound,
+            "raw {raw} vs approx {approx} (bound {bound})"
+        );
+    }
+
+    #[test]
+    fn group_scan_matches_per_point_reference() {
+        let (d, pq) = trained();
+        let (grouped, codes) = pq.encode_all(&d.points);
+        let lut = pq.lut(&to_f32_vec(d.queries.point(1)), Metric::SquaredEuclidean);
+        let pairs = pq.pairs();
+        let mut sums = [0u16; GROUP];
+        for g in [0usize, 3, 1_200 / 32 - 1] {
+            scan_group_scalar(
+                &lut.entries,
+                &grouped[g * pairs * GROUP..(g + 1) * pairs * GROUP],
+                pairs,
+                &mut sums,
+            );
+            for j in 0..GROUP {
+                let i = g * GROUP + j;
+                if i >= 1_200 {
+                    break;
+                }
+                let want = adc_sum_packed(&lut.entries, &codes[i * pairs..(i + 1) * pairs]);
+                assert_eq!(sums[j], want, "g={g} j={j}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn vector_scans_bit_exact_vs_scalar() {
+        let (d, pq) = trained();
+        let (grouped, _codes) = pq.encode_all(&d.points);
+        let pairs = pq.pairs();
+        for (qi, metric) in [
+            (0usize, Metric::SquaredEuclidean),
+            (2, Metric::InnerProduct),
+        ] {
+            let lut = pq.lut(&to_f32_vec(d.queries.point(qi)), metric);
+            let mut want = [0u16; GROUP];
+            let mut got = [0u16; GROUP];
+            for g in 0..1_200usize.div_ceil(32) {
+                let gslice = &grouped[g * pairs * GROUP..(g + 1) * pairs * GROUP];
+                scan_group_scalar(&lut.entries, gslice, pairs, &mut want);
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: feature checked.
+                    unsafe { scan_group_avx2(&lut.entries, gslice, pairs, &mut got) };
+                    assert_eq!(got, want, "avx2 g={g}");
+                }
+                if std::arch::is_x86_feature_detected!("avx512bw") {
+                    // SAFETY: feature checked.
+                    unsafe { scan_group_avx512(&lut.entries, gslice, pairs, &mut got) };
+                    assert_eq!(got, want, "avx512 g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_m_and_odd_pair_counts_scan_correctly() {
+        // m=3 on a 96-d slice packs a virtual zero subspace (odd m);
+        // m=6 yields 3 pairs, exercising the AVX-512 odd-pair tail.
+        let d = bigann_like(300, 4, 21);
+        let rows: Vec<Vec<f32>> = (0..300)
+            .map(|i| to_f32_vec(d.points.point(i))[..96].to_vec())
+            .collect();
+        let p96 = PointSet::from_rows(&rows);
+        for m in [3usize, 6] {
+            let pq = ProductQuantizer4::train(
+                &p96,
+                &Pq4Params {
+                    m,
+                    train_iters: 2,
+                    train_sample: 200,
+                    seed: 3,
+                },
+            );
+            assert_eq!(pq.m(), m);
+            let pairs = pq.pairs();
+            assert_eq!(pairs, m.div_ceil(2));
+            let (grouped, codes) = pq.encode_all(&p96);
+            let lut = pq.lut(&to_f32_vec(p96.point(5)), Metric::SquaredEuclidean);
+            let mut sums = [0u16; GROUP];
+            scan_group(&lut.entries, &grouped[..pairs * GROUP], pairs, &mut sums);
+            for j in 0..GROUP {
+                let want = adc_sum_packed(&lut.entries, &codes[j * pairs..(j + 1) * pairs]);
+                assert_eq!(sums[j], want, "m={m} j={j}");
+            }
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx512bw") {
+                let mut got = [0u16; GROUP];
+                // SAFETY: feature checked.
+                unsafe {
+                    scan_group_avx512(&lut.entries, &grouped[..pairs * GROUP], pairs, &mut got)
+                };
+                assert_eq!(got, sums, "m={m} avx512 tail");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_group_matches_contiguous_layout() {
+        let (d, pq) = trained();
+        let (grouped, codes) = pq.encode_all(&d.points);
+        let pairs = pq.pairs();
+        // Gathering ids 0..32 must reproduce group 0 exactly.
+        let ids: Vec<u32> = (0..32).collect();
+        let mut gbuf = Vec::new();
+        gather_group(&codes, pairs, &ids, &mut gbuf);
+        assert_eq!(&gbuf[..], &grouped[..pairs * GROUP]);
+        // A partial, shuffled gather still scans to the right per-id sums.
+        let ids = vec![17u32, 3, 900, 42];
+        gather_group(&codes, pairs, &ids, &mut gbuf);
+        let lut = pq.lut(&to_f32_vec(d.queries.point(0)), Metric::SquaredEuclidean);
+        let mut sums = [0u16; GROUP];
+        scan_group(&lut.entries, &gbuf, pairs, &mut sums);
+        for (j, &id) in ids.iter().enumerate() {
+            let want = adc_sum_packed(
+                &lut.entries,
+                &codes[id as usize * pairs..(id as usize + 1) * pairs],
+            );
+            assert_eq!(sums[j], want, "j={j}");
+        }
+    }
+}

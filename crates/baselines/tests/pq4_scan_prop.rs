@@ -1,0 +1,56 @@
+//! Property test: every 4-bit ADC scan variant must reproduce the scalar
+//! reference bit-for-bit — the shuffle-LUT kernels are exact integer
+//! reorderings of the same `u16` sums, never an approximation.
+
+use ann_baselines::pq4::{self, GROUP};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 byte stream.
+fn seeded(n: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            (z ^ (z >> 31)) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // `pairs` spans odd and even counts so the AVX-512 kernel's odd-pair
+    // scalar tail is exercised, not just the 2-pairs-per-iteration body.
+    #[test]
+    fn shuffle_scans_match_scalar_bit_for_bit(pairs in 1usize..=17, seed in any::<u64>()) {
+        let entries = seeded(pairs * 32, seed);
+        let group = seeded(pairs * GROUP, seed ^ 0xc0de);
+
+        let mut want = [0u16; GROUP];
+        pq4::scan_group_scalar(&entries, &group, pairs, &mut want);
+
+        // The dispatcher must agree regardless of which kernel it picks.
+        let mut got = [0u16; GROUP];
+        pq4::scan_group(&entries, &group, pairs, &mut got);
+        prop_assert_eq!(want, got, "dispatched scan diverges from scalar");
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: each kernel runs only under runtime detection of
+            // the features it requires.
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let mut got = [0u16; GROUP];
+                unsafe { pq4::scan_group_avx2(&entries, &group, pairs, &mut got) };
+                prop_assert_eq!(want, got, "avx2 shuffle scan diverges from scalar");
+            }
+            if std::arch::is_x86_feature_detected!("avx512bw") {
+                let mut got = [0u16; GROUP];
+                unsafe { pq4::scan_group_avx512(&entries, &group, pairs, &mut got) };
+                prop_assert_eq!(want, got, "avx512 shuffle scan diverges from scalar");
+            }
+        }
+    }
+}

@@ -17,12 +17,19 @@ pub struct JsonRecord {
 }
 
 impl JsonRecord {
-    /// Starts a record; every bench record leads with its bench name.
+    /// Starts a record; every bench record leads with its bench name plus
+    /// two provenance stamps — the active SIMD dispatch tier and the
+    /// worker thread count — so every `BENCH_*.json` row is attributable
+    /// to the kernel tier and parallelism it ran under.
     pub fn new(bench: &str) -> Self {
         let mut r = JsonRecord { buf: String::new() };
         r.buf.push('{');
         r.key("bench");
         r.push_str_value(bench);
+        r.key("simd_level");
+        r.push_str_value(ann_data::simd_level().name());
+        r.key("threads");
+        let _ = write!(r.buf, "{}", parlay::num_threads());
         r
     }
 
@@ -144,11 +151,23 @@ mod tests {
             .uint_list("sizes", [1, 2, 3])
             .float_list("lat", [0.5, 1.25], 2)
             .finish();
-        assert_eq!(
-            line,
-            "{\"bench\":\"demo\",\"name\":\"a \\\"b\\\"\\\\c\\n\",\"n\":42,\
-             \"qps\":1234.6,\"ok\":true,\"sizes\":[1,2,3],\"lat\":[0.50,1.25]}\n"
+        // The provenance stamps depend on the host/environment, so the
+        // expected prefix is built from the same sources.
+        let expected = format!(
+            "{{\"bench\":\"demo\",\"simd_level\":\"{}\",\"threads\":{},\
+             \"name\":\"a \\\"b\\\"\\\\c\\n\",\"n\":42,\
+             \"qps\":1234.6,\"ok\":true,\"sizes\":[1,2,3],\"lat\":[0.50,1.25]}}\n",
+            ann_data::simd_level().name(),
+            parlay::num_threads()
         );
+        assert_eq!(line, expected);
+    }
+
+    #[test]
+    fn every_record_carries_provenance_stamps() {
+        let line = JsonRecord::new("anything").finish();
+        assert!(line.contains("\"simd_level\":\""));
+        assert!(line.contains("\"threads\":"));
     }
 
     #[test]

@@ -95,8 +95,10 @@ impl GraphView for FlatGraph {
 }
 
 /// Ordering used throughout the query layer: by distance, ties by id.
+/// Public so out-of-crate search loops (the baselines' ADC walk) order
+/// candidates identically to the core engine.
 #[inline]
-pub(crate) fn cmp_dist(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+pub fn cmp_dist(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
     a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
 }
 
@@ -299,10 +301,10 @@ pub fn beam_search_into<T: VectorElem, G: GraphView>(
 
 /// Admission thresholds for one expansion: the beam's worst member, and
 /// the (1+ε) cut around the current k-th nearest candidate. Shared between
-/// the single-query loop above and the query-blocked engine so the two
-/// paths cannot drift.
+/// the single-query loop above, the query-blocked engine, and the
+/// baselines' ADC walk so the paths cannot drift.
 #[inline]
-pub(crate) fn admission_bounds(frontier: &[(u32, f32)], params: &QueryParams) -> (f32, f32) {
+pub fn admission_bounds(frontier: &[(u32, f32)], params: &QueryParams) -> (f32, f32) {
     let worst = if frontier.len() == params.beam {
         frontier.last().expect("nonempty").1
     } else {
@@ -324,12 +326,7 @@ pub(crate) fn admission_bounds(frontier: &[(u32, f32)], params: &QueryParams) ->
 /// Merges two `(dist, id)`-sorted lists, removing duplicate ids (equal ids
 /// carry equal distances, so duplicates are adjacent), keeping `cap` items.
 /// `out` is cleared first (scratch-reuse path).
-pub(crate) fn merge_dedup_into(
-    a: &[(u32, f32)],
-    b: &[(u32, f32)],
-    cap: usize,
-    out: &mut Vec<(u32, f32)>,
-) {
+pub fn merge_dedup_into(a: &[(u32, f32)], b: &[(u32, f32)], cap: usize, out: &mut Vec<(u32, f32)>) {
     out.clear();
     out.reserve((a.len() + b.len()).min(cap));
     let (mut i, mut j) = (0, 0);
@@ -354,11 +351,7 @@ pub(crate) fn merge_dedup_into(
 }
 
 /// `a \ b` for `(dist, id)`-sorted lists; `out` is cleared first.
-pub(crate) fn sorted_difference_into(
-    a: &[(u32, f32)],
-    b: &[(u32, f32)],
-    out: &mut Vec<(u32, f32)>,
-) {
+pub fn sorted_difference_into(a: &[(u32, f32)], b: &[(u32, f32)], out: &mut Vec<(u32, f32)>) {
     out.clear();
     out.reserve(a.len());
     let mut j = 0;

@@ -165,6 +165,100 @@ proptest! {
         prop_assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0), "dot {got} vs {want}");
     }
 
+    // --- Cross-tier equivalence (every kernel module, not just the
+    //     dispatched one) ------------------------------------------------
+    //
+    // The integer kernels are exact in every tier, so all four must agree
+    // bit-for-bit; the f32 kernels are tier-sensitive in rounding order
+    // below AVX2, but the AVX-512 f32 path reduces in AVX2's lane order by
+    // construction, so those two tiers must also agree bit-for-bit.
+
+    #[test]
+    fn integer_kernels_bit_identical_across_all_tiers(dim in 1usize..=512, seed in any::<u64>()) {
+        let au = seeded(dim, seed, |z| z as u8);
+        let bu = seeded(dim, seed ^ 0xfeed, |z| z as u8);
+        let ai = seeded(dim, seed ^ 0x1111, |z| z as i8);
+        let bi = seeded(dim, seed ^ 0x2222, |z| z as i8);
+        let want = [
+            simd::scalar::squared_euclidean_u8(&au, &bu).to_bits(),
+            simd::scalar::dot_u8(&au, &bu).to_bits(),
+            simd::scalar::squared_euclidean_i8(&ai, &bi).to_bits(),
+            simd::scalar::dot_i8(&ai, &bi).to_bits(),
+        ];
+        #[cfg(target_arch = "x86_64")]
+        {
+            use ann_data::simd::x86::{avx2, avx512, sse2};
+            // SAFETY: each tier's kernels run only under runtime
+            // detection of the features they require.
+            unsafe {
+                let got = [
+                    sse2::squared_euclidean_u8(&au, &bu).to_bits(),
+                    sse2::dot_u8(&au, &bu).to_bits(),
+                    sse2::squared_euclidean_i8(&ai, &bi).to_bits(),
+                    sse2::dot_i8(&ai, &bi).to_bits(),
+                ];
+                prop_assert_eq!(want, got, "sse2 tier diverges");
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    let got = [
+                        avx2::squared_euclidean_u8(&au, &bu).to_bits(),
+                        avx2::dot_u8(&au, &bu).to_bits(),
+                        avx2::squared_euclidean_i8(&ai, &bi).to_bits(),
+                        avx2::dot_i8(&ai, &bi).to_bits(),
+                    ];
+                    prop_assert_eq!(want, got, "avx2 tier diverges");
+                }
+                if std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                {
+                    let got = [
+                        avx512::squared_euclidean_u8_bw(&au, &bu).to_bits(),
+                        avx512::dot_u8_bw(&au, &bu).to_bits(),
+                        avx512::squared_euclidean_i8_bw(&ai, &bi).to_bits(),
+                        avx512::dot_i8_bw(&ai, &bi).to_bits(),
+                    ];
+                    prop_assert_eq!(want, got, "avx512 widening path diverges");
+                }
+                if ann_data::simd::vnni_available() {
+                    let got = [
+                        avx512::squared_euclidean_u8_vnni(&au, &bu).to_bits(),
+                        avx512::dot_u8_vnni(&au, &bu).to_bits(),
+                        avx512::squared_euclidean_i8_vnni(&ai, &bi).to_bits(),
+                        avx512::dot_i8_vnni(&ai, &bi).to_bits(),
+                    ];
+                    prop_assert_eq!(want, got, "avx512 VNNI path diverges");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernels_bit_identical_avx512_vs_avx2(dim in 1usize..=512, seed in any::<u64>()) {
+        let _ = (dim, seed);
+        #[cfg(target_arch = "x86_64")]
+        {
+            use ann_data::simd::x86::{avx2, avx512};
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("avx512f")
+            {
+                let a = seeded(dim, seed, |z| (z >> 40) as f32 / 1e4 - 0.8);
+                let b = seeded(dim, seed ^ 0x9d9d, |z| (z >> 40) as f32 / 1e4 - 0.8);
+                // SAFETY: gated on runtime detection above.
+                unsafe {
+                    prop_assert_eq!(
+                        avx2::squared_euclidean_f32(&a, &b).to_bits(),
+                        avx512::squared_euclidean_f32(&a, &b).to_bits(),
+                        "f32 sq-euclidean differs between avx2 and avx512"
+                    );
+                    prop_assert_eq!(
+                        avx2::dot_f32(&a, &b).to_bits(),
+                        avx512::dot_f32(&a, &b).to_bits(),
+                        "f32 dot differs between avx2 and avx512"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn padded_rows_score_identically_to_logical_rows(
         dim in 1usize..=200,
