@@ -304,7 +304,9 @@ fn chaos_fingerprint(
     for q in 0..queries.len() {
         let (res, stats) = AnnIndex::search(store, queries.point(q), params);
         acc = parlay::hash64_pair(acc, stats.failovers as u64);
-        acc = parlay::hash64_pair(acc, stats.failed_shards);
+        for &w in stats.failed_shards.words() {
+            acc = parlay::hash64_pair(acc, w);
+        }
         for (id, d) in res {
             acc = parlay::hash64_pair(parlay::hash64_pair(acc, id as u64), d.to_bits() as u64);
         }

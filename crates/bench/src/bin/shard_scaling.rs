@@ -16,18 +16,29 @@
 //! Defaults: `n` = 10 000 points (or `PARLAYANN_SCALE`), output
 //! `BENCH_shard.json`.
 //!
-//! Two self-checks gate the run (non-zero exit on failure):
+//! A second sweep drives the **partial fan-out dial**: the same corpus
+//! built into an 8-shard k-means store, searched at
+//! `nprobe ∈ {1, 2, 4, 8}`, recording recall@10 against exact ground
+//! truth and QPS per setting — the quality/throughput trade the routing
+//! layer exists to expose. Its combined `ROUTED_FINGERPRINT` is diffed
+//! across thread counts in CI just like the hash sweep's.
+//!
+//! Three self-checks gate the run (non-zero exit on failure):
 //!
 //! * a 1-shard store must answer **bit-identically** to the unsharded
 //!   index it wraps (hash partitioning into one shard preserves id
 //!   order, so the builds are the same build);
-//! * every shard count's result fingerprint is recorded and the combined
-//!   `FINGERPRINT` line is diffed across `PARLAY_NUM_THREADS` settings
-//!   in CI — the merged top-k must not depend on the schedule.
+//! * `nprobe = 8` (full probe through the routed machinery) must answer
+//!   bit-identically to the same store with routing off;
+//! * every configuration's result fingerprint is recorded and the
+//!   combined `FINGERPRINT` / `ROUTED_FINGERPRINT` lines are diffed
+//!   across `PARLAY_NUM_THREADS` settings in CI — the merged top-k must
+//!   not depend on the schedule.
 
-use ann_data::bigann_like;
+use ann_data::{bigann_like, compute_ground_truth, recall_ids};
 use parlayann::{AnnIndex, QueryParams, SearchStats, VamanaIndex, VamanaParams};
-use parlayann_store::build_sharded_vamana;
+use parlayann_store::{build_sharded_vamana, Partitioner, Routing, ShardedIndex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Order-sensitive digest over every query's `(id, dist-bits)` sequence.
@@ -136,6 +147,70 @@ fn main() {
         .iter()
         .fold(0xdeadbeefu64, |acc, &fp| parlay::hash64_pair(acc, fp));
 
+    // ---- Routed sweep: recall/QPS vs nprobe on an 8-shard k-means store.
+    const ROUTED_SHARDS: usize = 8;
+    let metric = data.metric;
+    let vparams = VamanaParams::default();
+    let t0 = Instant::now();
+    let mut routed_store = ShardedIndex::build_with(
+        &data.points,
+        Partitioner::kmeans(ROUTED_SHARDS, 7),
+        |_, ps| {
+            Arc::new(VamanaIndex::build(ps, metric, &vparams))
+                as Arc<dyn AnnIndex<u8> + Send + Sync>
+        },
+    );
+    let routed_build_s = t0.elapsed().as_secs_f64();
+    assert!(
+        routed_store.codebook().is_some(),
+        "k-means build must carry a routing codebook"
+    );
+    let gt = compute_ground_truth(&data.points, &data.queries, params.k, metric);
+    let full_fanout = routed_store.search_batch(&data.queries, &params);
+
+    let probe_counts = [1usize, 2, 4, ROUTED_SHARDS];
+    let mut routed_qps = Vec::new();
+    let mut routed_recall = Vec::new();
+    let mut routed_fps = Vec::new();
+    println!("\n  routed sweep: {ROUTED_SHARDS}-shard k-means store (build {routed_build_s:.2}s)");
+    println!("  nprobe   recall@10      qps  fingerprint");
+    for &p in &probe_counts {
+        routed_store.set_routing(Routing::nprobe(p));
+        let _ = routed_store.search_batch(&data.queries, &params);
+        let (total_s, results) = time_best(|| routed_store.search_batch(&data.queries, &params));
+        let ids: Vec<Vec<u32>> = results
+            .iter()
+            .map(|(res, _)| res.iter().map(|&(id, _)| id).collect())
+            .collect();
+        let recall = recall_ids(&gt, &ids, params.k, params.k);
+        let fp = fingerprint(&results);
+
+        if p == ROUTED_SHARDS {
+            let same = results.len() == full_fanout.len()
+                && results.iter().zip(&full_fanout).all(|((a, _), (b, _))| {
+                    a.len() == b.len()
+                        && a.iter()
+                            .zip(b)
+                            .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits())
+                });
+            identical &= same;
+            if !same {
+                eprintln!("  ERROR: nprobe = {p} diverged from the unrouted full fan-out");
+            }
+        }
+        println!(
+            "  {p:>6}      {recall:>6.4}  {:>7.0}  0x{fp:016x}",
+            nq as f64 / total_s
+        );
+        routed_qps.push(nq as f64 / total_s);
+        routed_recall.push(recall);
+        routed_fps.push(fp);
+    }
+    routed_store.set_routing(Routing::default());
+    let routed_combined = routed_fps
+        .iter()
+        .fold(0xdeadbeefu64, |acc, &fp| parlay::hash64_pair(acc, fp));
+
     let record = parlayann_bench::JsonRecord::new("shard_scaling")
         .str("algo", "sharded-vamana")
         .str("partitioner", "hash")
@@ -147,11 +222,17 @@ fn main() {
         .float_list("qps", qps.iter().copied(), 1)
         .float_list("merge_overhead", overheads.iter().copied(), 4)
         .str("fingerprint", &format!("0x{combined:016x}"))
+        .uint("routed_shards", ROUTED_SHARDS as u64)
+        .uint_list("nprobe", probe_counts.iter().map(|&p| p as u64))
+        .float_list("routed_qps", routed_qps.iter().copied(), 1)
+        .float_list("routed_recall", routed_recall.iter().copied(), 4)
+        .str("routed_fingerprint", &format!("0x{routed_combined:016x}"))
         .bool("identical", identical)
         .finish();
     parlayann_bench::append_record(&out_path, &record).expect("failed to write bench record");
     println!("\n  appended record to {out_path}");
     println!("FINGERPRINT 0x{combined:016x}");
+    println!("ROUTED_FINGERPRINT 0x{routed_combined:016x}");
 
     if !identical {
         std::process::exit(1);

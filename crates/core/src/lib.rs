@@ -65,4 +65,4 @@ pub use query::{
     IndexStats, QueryEngine, Starts,
 };
 pub use range::{range_search, RangeParams};
-pub use stats::{BuildStats, SearchStats, StatsMode};
+pub use stats::{BuildStats, SearchStats, ShardSet, StatsMode, SHARD_SET_BITS};

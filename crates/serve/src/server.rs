@@ -145,7 +145,13 @@ pub struct Response {
     /// Per-request search counters (zeroed under `StatsMode::Off`; the
     /// shard-health fields survive `Off` — see [`SearchStats`]).
     pub stats: SearchStats,
+    /// Shards the router selected for this request (0 = unsharded
+    /// index). With partial fan-out (`Routing { nprobe: p }`) this is
+    /// `p`; otherwise the store's shard count.
+    pub routed_shards: u32,
     /// Shards that contributed to this answer (0 = unsharded index).
+    /// Under routing, `routed_shards = probed_shards` plus the selected
+    /// shards that were down.
     pub probed_shards: u32,
     /// Whether this answer is **degraded**: some shard had every replica
     /// down, so the result covers only the surviving shards (and is
@@ -933,6 +939,7 @@ fn execute_batch<T: VectorElem>(
         degraded_count += stats.degraded() as u64;
         req.slot.fill(Response {
             neighbors,
+            routed_shards: stats.routed_shards,
             probed_shards: stats.probed_shards,
             degraded: stats.degraded(),
             stats,
@@ -995,6 +1002,7 @@ fn isolate_batch_failure<T: VectorElem>(
                 failovers += stats.failovers as u64;
                 req.slot.fill(Response {
                     neighbors,
+                    routed_shards: stats.routed_shards,
                     probed_shards: stats.probed_shards,
                     degraded: stats.degraded(),
                     stats,

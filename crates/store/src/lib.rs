@@ -11,7 +11,10 @@
 //!   `AnnIndex` itself: searches fan out across shards on the
 //!   work-stealing pool and combine through a deterministic k-way merge
 //!   ordered by (distance, global id) — results are **bit-identical at
-//!   any thread count and any shard enumeration order**.
+//!   any thread count and any shard enumeration order**. With a
+//!   [`ShardCodebook`] and [`Routing`]`{ nprobe: p }`, queries probe only
+//!   the `p` closest shards (LANNS-style partial fan-out; `p = N` is
+//!   bitwise full fan-out).
 //! * [`manifest`] — the on-disk form: a directory of ordinary per-shard
 //!   index files plus a versioned `MANIFEST` header (partitioner, per-
 //!   shard kind/len/checksum, id maps), layered on the single-index
@@ -46,10 +49,12 @@ pub use fault::{
     is_injected, silence_injected_panics, Fault, FaultPlan, FaultyIndex, InjectedFault,
 };
 pub use handle::{Generation, StoreHandle};
-pub use manifest::{file_checksum, load_manifest, save_manifest, shard_path, MANIFEST_FILE};
-pub use partition::{shard_members, Partitioner};
+pub use manifest::{
+    bytes_checksum, file_checksum, load_manifest, save_manifest, shard_path, MANIFEST_FILE,
+};
+pub use partition::{balanced_kmeans_assign, shard_members, Partitioner, ShardCodebook};
 pub use replica::{BreakerConfig, BreakerState, CircuitBreaker, ReplicaSet, RunOutcome};
-pub use sharded::{merge_topk, Shard, ShardedIndex};
+pub use sharded::{merge_topk, Routing, Shard, ShardedIndex};
 
 use ann_data::io::BinaryElem;
 use ann_data::VectorElem;

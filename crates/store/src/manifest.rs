@@ -26,18 +26,27 @@
 //!
 //! ```text
 //! MANIFEST layout (little-endian):
-//! magic "PSHD" | version=1 u32 | elem-width u8 | dim u64 | total u64 |
+//! magic "PSHD" | version=2 u32 | elem-width u8 | dim u64 | total u64 |
 //! partitioner: tag u8 | shards u32 | seed u64 | iters u32 | sample u64 |
 //! shard_count u32 |
 //! per shard: kind u8 | len u64 | checksum u64 |
-//! per shard: globals[len] u32
+//! per shard: globals[len] u32 |
+//! codebook flag u8 | if 1: checksum u64 | centroids[shard_count × dim] f32
 //! ```
+//!
+//! Version 2 appended the **codebook section**: the shard-centroid
+//! matrix a k-means store routes with (see
+//! [`ShardCodebook`](crate::ShardCodebook)), one `f32` row per retained
+//! shard slot, guarded by its own FNV-1a checksum. Version-1 manifests
+//! (no section) still load — they come back without a codebook and
+//! simply route with full fan-out. [`Routing`](crate::Routing) itself is
+//! *not* persisted: `nprobe` is a serving knob, chosen per deployment.
 //!
 //! An unknown version or partitioner tag is an
 //! [`io::ErrorKind::InvalidData`] error naming the manifest path, never a
 //! misinterpretation — the same contract as the single-index format.
 
-use crate::partition::Partitioner;
+use crate::partition::{Partitioner, ShardCodebook};
 use crate::sharded::{Shard, ShardedIndex};
 use ann_data::io::BinaryElem;
 use ann_data::VectorElem;
@@ -49,8 +58,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"PSHD";
-/// Current manifest-format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Current manifest-format version (2 added the codebook section).
+pub const MANIFEST_VERSION: u32 = 2;
+/// Oldest manifest version this build still reads.
+pub const MANIFEST_MIN_VERSION: u32 = 1;
 /// Name of the header file inside a manifest directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -61,6 +72,16 @@ pub fn shard_path(dir: &Path, s: usize) -> PathBuf {
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a 64 over a byte slice (the codebook section's checksum).
+pub fn bytes_checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// FNV-1a 64 over a file's bytes (streamed; no dependency on file size).
@@ -216,14 +237,36 @@ pub(crate) fn save_manifest_dyn<T: VectorElem>(
             write_u32(&mut w, g)?;
         }
     }
+    // Codebook section (v2): the shard-centroid matrix routed search
+    // ranks against, with its own checksum so a corrupt centroid can't
+    // silently misroute every query.
+    match index.codebook() {
+        Some(cb) => {
+            debug_assert_eq!(cb.len(), shards.len());
+            let mut bytes = Vec::with_capacity(cb.centroids().len() * 4);
+            for &x in cb.centroids() {
+                bytes.extend_from_slice(&x.to_le_bytes());
+            }
+            w.write_all(&[1])?;
+            write_u64(&mut w, bytes_checksum(&bytes))?;
+            w.write_all(&bytes)?;
+        }
+        None => w.write_all(&[0])?,
+    }
     w.flush().map_err(|e| with_path(&manifest_path, e))
 }
 
+/// Everything a `MANIFEST` header decodes to.
+struct ManifestHeader {
+    partitioner: Partitioner,
+    dim: usize,
+    metas: Vec<ShardMeta>,
+    codebook: Option<ShardCodebook>,
+}
+
 /// Decodes a `MANIFEST` header. Errors name the manifest path.
-fn read_manifest_header<T>(
-    manifest_path: &Path,
-) -> io::Result<(Partitioner, usize, usize, Vec<ShardMeta>)> {
-    fn inner<T>(r: &mut impl Read) -> io::Result<(Partitioner, usize, usize, Vec<ShardMeta>)> {
+fn read_manifest_header<T>(manifest_path: &Path) -> io::Result<ManifestHeader> {
+    fn inner<T>(r: &mut impl Read) -> io::Result<ManifestHeader> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -232,9 +275,10 @@ fn read_manifest_header<T>(
             )));
         }
         let version = read_u32(r)?;
-        if version != MANIFEST_VERSION {
+        if !(MANIFEST_MIN_VERSION..=MANIFEST_VERSION).contains(&version) {
             return Err(invalid(format!(
-                "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+                "unsupported manifest version {version} (this build reads \
+                 {MANIFEST_MIN_VERSION}..={MANIFEST_VERSION})"
             )));
         }
         let width = read_u8(r)?;
@@ -310,7 +354,54 @@ fn read_manifest_header<T>(
                 }
             }
         }
-        Ok((partitioner, dim, total, metas))
+        // Codebook section — absent before v2 (those stores route with
+        // full fan-out; the dial only needs centroids).
+        let codebook = if version >= 2 {
+            match read_u8(r)? {
+                0 => None,
+                1 => {
+                    let checksum = read_u64(r)?;
+                    let floats = metas
+                        .len()
+                        .checked_mul(dim)
+                        .filter(|&n| n <= (1 << 28))
+                        .ok_or_else(|| {
+                            invalid(format!(
+                                "implausible codebook size: {} shards × dim {dim}",
+                                metas.len()
+                            ))
+                        })?;
+                    let mut bytes = vec![0u8; floats * 4];
+                    r.read_exact(&mut bytes)?;
+                    let found = bytes_checksum(&bytes);
+                    if found != checksum {
+                        return Err(invalid(format!(
+                            "codebook checksum mismatch: manifest 0x{checksum:016x}, \
+                             section 0x{found:016x} (centroids corrupt)"
+                        )));
+                    }
+                    let centroids: Vec<f32> = bytes
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect();
+                    if dim == 0 {
+                        return Err(invalid("codebook present but dim is 0"));
+                    }
+                    Some(ShardCodebook::new(centroids, dim))
+                }
+                other => {
+                    return Err(invalid(format!("unknown codebook flag {other}")));
+                }
+            }
+        } else {
+            None
+        };
+        Ok(ManifestHeader {
+            partitioner,
+            dim,
+            metas,
+            codebook,
+        })
     }
     let mut r = BufReader::new(File::open(manifest_path).map_err(|e| with_path(manifest_path, e))?);
     inner::<T>(&mut r).map_err(|e| with_path(manifest_path, e))
@@ -319,9 +410,16 @@ fn read_manifest_header<T>(
 /// Loads a manifest directory saved by [`save_manifest`] back into a
 /// [`ShardedIndex`]. Every shard file's checksum is verified before it
 /// is decoded, and every mismatch (checksum, kind, length, element type)
-/// is an error naming the offending file.
+/// is an error naming the offending file. A v2 manifest's codebook comes
+/// back attached (ready for [`Routing`](crate::Routing)); older
+/// manifests load without one and route with full fan-out.
 pub fn load_manifest<T: VectorElem + BinaryElem>(dir: &Path) -> io::Result<ShardedIndex<T>> {
-    let (partitioner, dim, _total, metas) = read_manifest_header::<T>(&dir.join(MANIFEST_FILE))?;
+    let ManifestHeader {
+        partitioner,
+        dim,
+        metas,
+        codebook,
+    } = read_manifest_header::<T>(&dir.join(MANIFEST_FILE))?;
     let mut shards = Vec::with_capacity(metas.len());
     for (s, meta) in metas.into_iter().enumerate() {
         let path = shard_path(dir, s);
@@ -358,7 +456,9 @@ pub fn load_manifest<T: VectorElem + BinaryElem>(dir: &Path) -> io::Result<Shard
     // The header already proved the id maps cover 0..total exactly once
     // and per-shard lengths match, so `from_shards`' (panicking)
     // invariants cannot fire on decoded input.
-    Ok(ShardedIndex::from_shards(shards, partitioner, dim))
+    let mut index = ShardedIndex::from_shards(shards, partitioner, dim);
+    index.set_codebook(codebook);
+    Ok(index)
 }
 
 #[cfg(test)]
@@ -497,7 +597,9 @@ mod tests {
         // A flipped id-map byte is caught as coverage violation, not a
         // panic inside from_shards.
         let mut bytes = pristine.clone();
-        let glob0 = bytes.len() - 120 * 4; // id maps are the tail
+        // Id maps sit just before the codebook section (a hash store has
+        // no codebook: one trailing flag byte).
+        let glob0 = bytes.len() - 1 - 120 * 4;
         bytes[glob0..glob0 + 4].copy_from_slice(&900u32.to_le_bytes());
         std::fs::write(&manifest, &bytes).unwrap();
         let err = load_manifest::<u8>(&dir)
@@ -507,6 +609,87 @@ mod tests {
         assert!(
             err.to_string().contains("out of range or duplicated"),
             "{err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn build_kmeans_sharded(n: usize, shards: usize) -> (ShardedIndex<u8>, ann_data::Dataset<u8>) {
+        let d = bigann_like(n, 10, 88);
+        let metric = d.metric;
+        let index = ShardedIndex::build_with(&d.points, Partitioner::kmeans(shards, 5), |_, ps| {
+            Arc::new(VamanaIndex::build(ps, metric, &VamanaParams::default()))
+        });
+        (index, d)
+    }
+
+    #[test]
+    fn codebook_roundtrips_bitwise() {
+        let (index, _) = build_kmeans_sharded(400, 4);
+        let fresh = index.codebook().expect("kmeans build has a codebook");
+        let dir = tmp("codebook");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_manifest(&dir, &index).unwrap();
+        let loaded = load_manifest::<u8>(&dir).unwrap();
+        let got = loaded.codebook().expect("v2 load restores the codebook");
+        assert_eq!(got.len(), fresh.len());
+        assert_eq!(got.dim(), fresh.dim());
+        for (a, b) in got.centroids().iter().zip(fresh.centroids()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_manifest_loads_without_codebook() {
+        // A pre-codebook manifest is a v2 file minus the codebook
+        // section, with version=1 in the header: synthesize one by
+        // truncating a fresh save, and it must still load (routing then
+        // simply has nothing to rank against ⇒ full fan-out).
+        let (index, d) = build_kmeans_sharded(300, 3);
+        assert!(index.codebook().is_some());
+        let dir = tmp("v1compat");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_manifest(&dir, &index).unwrap();
+        let manifest = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&manifest).unwrap();
+        let section = 1 + 8 + index.shards().len() * AnnIndex::dim(&index) * 4;
+        bytes.truncate(bytes.len() - section);
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&manifest, &bytes).unwrap();
+        let loaded = load_manifest::<u8>(&dir).unwrap();
+        assert!(loaded.codebook().is_none(), "v1 has no codebook");
+        assert_eq!(AnnIndex::len(&loaded), 300);
+        // Still answers (full fan-out), bit-identical to the original.
+        let params = QueryParams {
+            k: 5,
+            beam: 32,
+            ..QueryParams::default()
+        };
+        let (want, _) = index.search(d.queries.point(0), &params);
+        let (got, _) = loaded.search(d.queries.point(0), &params);
+        assert_eq!(got, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_codebook_fails_with_checksum_detail() {
+        let (index, _) = build_kmeans_sharded(200, 2);
+        let dir = tmp("badcb");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_manifest(&dir, &index).unwrap();
+        let manifest = dir.join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&manifest).unwrap();
+        let last = bytes.len() - 1; // final centroid byte
+        bytes[last] ^= 0xff;
+        std::fs::write(&manifest, &bytes).unwrap();
+        let err = load_manifest::<u8>(&dir)
+            .err()
+            .expect("corrupt codebook must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("MANIFEST") && msg.contains("codebook checksum mismatch"),
+            "{msg}"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,5 +1,6 @@
 //! The sharded index: fan-out search over N sub-indexes with a
-//! deterministic merge.
+//! deterministic merge, optionally **routed** to only the `p` closest
+//! shards.
 //!
 //! A [`ShardedIndex`] owns `N` shards, each an `Arc<dyn AnnIndex>` over a
 //! disjoint slice of the corpus plus the local→global id map produced by
@@ -11,9 +12,9 @@
 //!
 //! ## Merge determinism
 //!
-//! Every query fans out to all shards; each shard reports its local
-//! top-k (global ids substituted); the per-shard lists are combined by a
-//! k-way merge ordered by **(distance, global id)**. This is a total
+//! Every query fans out to its target shards; each shard reports its
+//! local top-k (global ids substituted); the per-shard lists are combined
+//! by a k-way merge ordered by **(distance, global id)**. This is a total
 //! order: a given global id lives in exactly one shard and its distance
 //! to the query is a pure function of `(query, vector)` — the same
 //! kernel bits no matter which shard holds it — so no two merge keys are
@@ -27,6 +28,25 @@
 //! shards keep their approximate semantics per shard; recall of the
 //! merged result is in practice ≥ the unsharded index (each shard scans
 //! its beam over a smaller corpus — the recall-floor suite pins this).
+//!
+//! ## Routed (partial) fan-out
+//!
+//! With a [`ShardCodebook`] attached (k-means builds produce one;
+//! manifests persist it) and [`Routing`]`{ nprobe: p } with p ≥ 1`, each
+//! query is first ranked against the shard centroids and only the `p`
+//! closest shards are searched — the LANNS/IVF-`nprobe` dial at the shard
+//! level, so fan-out cost scales with `p` instead of with the shard
+//! count. The selected slots are enumerated in increasing slot order and
+//! merged by the same k-way merge, which makes `p = N` **bitwise
+//! identical** to full fan-out (proptested, including the batch paths at
+//! 1 vs 8 threads). Batched searches route every query first, group the
+//! queries by target shard, and run one sub-batch per shard, so the
+//! query-blocked engine path survives routing. `nprobe = 0` (the
+//! default), or a store without a codebook (hash-partitioned, or loaded
+//! from a pre-codebook manifest), fans out to every shard as before.
+//! [`range_search`](AnnIndex::range_search) always fans out fully:
+//! "everything within the radius" is a promise about the whole corpus,
+//! not about the routed subset.
 //!
 //! ## Replication, failover, and degraded results
 //!
@@ -44,19 +64,23 @@
 //!
 //! When **every** replica of a shard is down, the merge proceeds over
 //! the surviving shards and the result is **degraded**: bit-identical to
-//! a search over only the surviving shards (same merge, shorter list of
-//! inputs — the chaos suite asserts this), with the missing slots
-//! reported in [`SearchStats::failed_shards`] and the surviving count in
-//! [`SearchStats::probed_shards`]. These shard-health fields are written
-//! unconditionally (not gated on `StatsMode`) and overwrite whatever the
-//! children reported, so a nested sharded store describes the outermost
-//! topology.
+//! a search over only the surviving *selected* shards (same merge,
+//! shorter list of inputs — the chaos suite asserts this), with the
+//! missing slots reported in [`SearchStats::failed_shards`] — an exact
+//! [`ShardSet`], so slots ≥ 64 no longer alias — and the surviving count
+//! in [`SearchStats::probed_shards`]. Under routing the accounting is
+//! per query and relative to the *selected* shards:
+//! `routed_shards = p`, and a down shard only degrades the queries that
+//! were routed to it (`routed = probed + failed`). These shard-health
+//! fields are written unconditionally (not gated on `StatsMode`) and
+//! overwrite whatever the children reported, so a nested sharded store
+//! describes the outermost topology.
 
-use crate::partition::{shard_members, Partitioner};
+use crate::partition::{shard_members, Partitioner, ShardCodebook};
 use crate::replica::{BreakerConfig, BreakerState, ReplicaSet};
 use ann_data::{PointSet, VectorElem};
 use parlayann::{
-    AnnIndex, IndexKind, IndexStats, QueryEngine, QueryParams, RangeParams, SearchStats,
+    AnnIndex, IndexKind, IndexStats, QueryEngine, QueryParams, RangeParams, SearchStats, ShardSet,
 };
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -70,24 +94,42 @@ pub struct Shard<T> {
     pub globals: Vec<u32>,
 }
 
+/// Partial fan-out configuration (see the module docs).
+///
+/// `nprobe = 0` — the default — disables routing: every query fans out to
+/// every shard. `nprobe = p ≥ 1` searches only the `p` shards whose
+/// centroids are closest to the query (clamped to the shard count;
+/// requires a [`ShardCodebook`] — without one the store keeps full
+/// fan-out). A serving knob, not part of the persisted index: manifests
+/// persist the codebook, and the loader/server picks `nprobe`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Routing {
+    /// How many closest shards to probe per query (0 = all).
+    pub nprobe: usize,
+}
+
+impl Routing {
+    /// Probe the `p` closest shards per query.
+    pub fn nprobe(p: usize) -> Routing {
+        Routing { nprobe: p }
+    }
+}
+
 /// A sharded vector store presenting N sub-indexes as one [`AnnIndex`].
-/// See the module docs for the merge-determinism argument and the
-/// replication/degraded-result semantics.
+/// See the module docs for the merge-determinism argument, routing, and
+/// the replication/degraded-result semantics.
 pub struct ShardedIndex<T> {
     shards: Vec<Shard<T>>,
     /// One replica set per shard slot; `sets[s]` fronts `shards[s]`
     /// (replica 0 is `shards[s].index`).
     sets: Vec<ReplicaSet<T>>,
     partitioner: Partitioner,
+    /// Centroid per retained shard slot (k-means builds / manifest v2);
+    /// `None` routes with full fan-out regardless of [`Routing`].
+    codebook: Option<ShardCodebook>,
+    routing: Routing,
     dim: usize,
     len: usize,
-}
-
-/// The failed-shard mask bit for shard slot `s` (slots ≥ 64 saturate
-/// onto bit 63 — see [`SearchStats::failed_shards`]).
-#[inline]
-fn shard_bit(s: usize) -> u64 {
-    1u64 << s.min(63)
 }
 
 /// The `(distance, global id)` merge order (matches the query layer's
@@ -143,20 +185,25 @@ impl<T: VectorElem> ShardedIndex<T> {
     /// Partitions `points` with `partitioner` and builds one sub-index
     /// per shard via `build_shard(shard_idx, shard_points)`. Shards the
     /// partitioner left empty are skipped (k-means can starve a
-    /// centroid). Shard builds run sequentially — each build is itself
-    /// parallel on the pool — so the result is deterministic whenever
-    /// `build_shard` is.
+    /// centroid), and for k-means partitioners the trained centroids of
+    /// the retained slots are kept as the store's [`ShardCodebook`] (so
+    /// routing can be enabled with [`with_routing`](Self::with_routing)).
+    /// Shard builds run sequentially — each build is itself parallel on
+    /// the pool — so the result is deterministic whenever `build_shard`
+    /// is.
     pub fn build_with<F>(points: &PointSet<T>, partitioner: Partitioner, build_shard: F) -> Self
     where
         F: Fn(usize, PointSet<T>) -> Arc<dyn AnnIndex<T> + Send + Sync>,
     {
-        let assignment = partitioner.assign(points);
+        let (assignment, model) = partitioner.assign_with_model(points);
         let members = shard_members(&assignment, partitioner.shards());
+        let mut retained = Vec::new();
         let shards: Vec<Shard<T>> = members
             .into_iter()
             .enumerate()
             .filter(|(_, globals)| !globals.is_empty())
             .map(|(s, globals)| {
+                retained.push(s);
                 let index = build_shard(s, points.gather(&globals));
                 assert_eq!(
                     index.len(),
@@ -166,14 +213,19 @@ impl<T: VectorElem> ShardedIndex<T> {
                 Shard { index, globals }
             })
             .collect();
-        Self::from_shards(shards, partitioner, points.dim())
+        let mut built = Self::from_shards(shards, partitioner, points.dim());
+        if let Some(model) = model {
+            built.set_codebook(Some(ShardCodebook::from_model(&model, &retained)));
+        }
+        built
     }
 
     /// Assembles a sharded index from prebuilt shards (manifest load,
-    /// tests, external construction). Validates that the shards' global
-    /// ids exactly cover `0..total` — a wrong id map would silently
-    /// corrupt every merge. Each shard's index becomes replica 0 of its
-    /// [`ReplicaSet`] (default [`BreakerConfig`]; see
+    /// tests, external construction), with no codebook (attach one with
+    /// [`set_codebook`](Self::set_codebook)). Validates that the shards'
+    /// global ids exactly cover `0..total` — a wrong id map would
+    /// silently corrupt every merge. Each shard's index becomes replica 0
+    /// of its [`ReplicaSet`] (default [`BreakerConfig`]; see
     /// [`with_breaker_config`](Self::with_breaker_config)).
     pub fn from_shards(shards: Vec<Shard<T>>, partitioner: Partitioner, dim: usize) -> Self {
         let len: usize = shards.iter().map(|s| s.globals.len()).sum();
@@ -197,6 +249,8 @@ impl<T: VectorElem> ShardedIndex<T> {
             shards,
             sets,
             partitioner,
+            codebook: None,
+            routing: Routing::default(),
             dim,
             len,
         }
@@ -255,8 +309,9 @@ impl<T: VectorElem> ShardedIndex<T> {
 
     /// Decomposes into the shard vector (re-assemble any permutation via
     /// [`from_shards`](Self::from_shards) — results are order-invariant).
-    /// Added replicas and breaker state are dropped — only primaries
-    /// survive decomposition, mirroring what a manifest persists.
+    /// Added replicas, breaker state, codebook, and routing are dropped —
+    /// only primaries survive decomposition, mirroring what a manifest's
+    /// shard section persists.
     pub fn into_shards(self) -> Vec<Shard<T>> {
         self.shards
     }
@@ -266,10 +321,63 @@ impl<T: VectorElem> ShardedIndex<T> {
         self.partitioner
     }
 
-    /// Fan-out + merge over per-shard batch results (`None` = that shard
-    /// was down). Every query's stats are stamped with the fan-out's
-    /// shard-health view: surviving count, failed mask, and the batch's
-    /// failover total (the failovers this response's batch paid for).
+    /// Attaches (or clears) the shard-centroid codebook routed search
+    /// ranks against. Row `s` must be the centroid of `shards()[s]`.
+    ///
+    /// # Panics
+    /// If the codebook's row count or dimensionality disagrees with the
+    /// store.
+    pub fn set_codebook(&mut self, codebook: Option<ShardCodebook>) {
+        if let Some(cb) = &codebook {
+            assert_eq!(
+                cb.len(),
+                self.shards.len(),
+                "codebook rows must match the shard count"
+            );
+            assert_eq!(cb.dim(), self.dim, "codebook dim must match the store");
+        }
+        self.codebook = codebook;
+    }
+
+    /// The shard-centroid codebook, if any (k-means builds and manifest
+    /// v2 loads have one; hash builds and pre-codebook manifests don't).
+    pub fn codebook(&self) -> Option<&ShardCodebook> {
+        self.codebook.as_ref()
+    }
+
+    /// Sets the partial fan-out dial (see [`Routing`]); builder form.
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.set_routing(routing);
+        self
+    }
+
+    /// Sets the partial fan-out dial (see [`Routing`]). Takes effect on
+    /// the next search; no rebuild. Without a codebook the dial is
+    /// inert (full fan-out).
+    pub fn set_routing(&mut self, routing: Routing) {
+        self.routing = routing;
+    }
+
+    /// The current partial fan-out configuration.
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// The shard slots to search for `query`: `None` = all (routing
+    /// disabled or no codebook), `Some(slots)` in increasing slot order.
+    fn route(&self, query: &[T]) -> Option<Vec<usize>> {
+        let cb = self.codebook.as_ref()?;
+        if self.routing.nprobe == 0 {
+            return None;
+        }
+        Some(cb.route(query, self.routing.nprobe))
+    }
+
+    /// Fan-out + merge over full-batch per-shard results (`None` = that
+    /// shard was down). Every query's stats are stamped with the
+    /// fan-out's shard-health view: selected count (= all shards here),
+    /// surviving count, failed set, and the batch's failover total (the
+    /// failovers this response's batch paid for).
     fn merge_batches(
         &self,
         per_shard: Vec<Option<Vec<(Vec<(u32, f32)>, SearchStats)>>>,
@@ -278,6 +386,7 @@ impl<T: VectorElem> ShardedIndex<T> {
         k: usize,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
         let (probed, failed) = health(&per_shard);
+        let routed = self.shards.len() as u32;
         parlay::tabulate(nq, |q| {
             let lists: Vec<&[(u32, f32)]> = per_shard
                 .iter()
@@ -285,6 +394,7 @@ impl<T: VectorElem> ShardedIndex<T> {
                 .map(|shard_res| shard_res[q].0.as_slice())
                 .collect();
             let mut stats = merge_stats(per_shard.iter().flatten().map(|shard_res| shard_res[q].1));
+            stats.routed_shards = routed;
             stats.probed_shards = probed;
             stats.failed_shards = failed;
             stats.failovers = failovers;
@@ -321,43 +431,146 @@ impl<T: VectorElem> ShardedIndex<T> {
             .collect();
         (per_shard, failovers)
     }
+
+    /// Routed batch fan-out: every query is ranked against the codebook
+    /// first, the queries targeting each shard are grouped into one
+    /// sub-batch per shard (so the shard's query-blocked path still sees
+    /// a batch), and each query merges the rows it contributed to its
+    /// target shards. A shard every query targets receives the original
+    /// query set — which is how `nprobe = N` runs byte-for-byte the same
+    /// shard calls as full fan-out. Shards no query targets are not
+    /// probed at all (and their replica-set call counters don't advance).
+    fn routed_batch<F>(
+        &self,
+        queries: &PointSet<T>,
+        nprobe: usize,
+        k: usize,
+        run_shard: F,
+    ) -> Vec<(Vec<(u32, f32)>, SearchStats)>
+    where
+        F: Fn(&dyn AnnIndex<T>, &PointSet<T>) -> Vec<(Vec<(u32, f32)>, SearchStats)>,
+    {
+        let cb = self
+            .codebook
+            .as_ref()
+            .expect("routed_batch requires a codebook");
+        let nq = queries.len();
+        let targets: Vec<Vec<usize>> = parlay::tabulate(nq, |q| cb.route(queries.point(q), nprobe));
+        // Group queries by target shard; remember where each query's row
+        // lands in each shard's sub-batch.
+        let mut shard_qids: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        let mut rows: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nq];
+        for (q, tgt) in targets.iter().enumerate() {
+            for &s in tgt {
+                rows[q].push((s, shard_qids[s].len()));
+                shard_qids[s].push(q as u32);
+            }
+        }
+        // One sub-batch per targeted shard, sequentially (each shard's
+        // batch path is already parallel), through the replica sets.
+        let mut failovers = 0u32;
+        let per_shard: Vec<Option<Vec<(Vec<(u32, f32)>, SearchStats)>>> = self
+            .shards
+            .iter()
+            .zip(&self.sets)
+            .zip(&shard_qids)
+            .map(|((shard, set), qids)| {
+                if qids.is_empty() {
+                    return Some(Vec::new());
+                }
+                // Full coverage reuses the caller's query set: no copy,
+                // and bit-for-bit the full fan-out call.
+                let gathered: Option<PointSet<T>> =
+                    (qids.len() != nq).then(|| queries.gather(qids));
+                let sub = gathered.as_ref().unwrap_or(queries);
+                let outcome = set.run(|idx| run_shard(idx, sub))?;
+                failovers += outcome.failovers;
+                let mut res = outcome.value;
+                for (r, _) in &mut res {
+                    globalize(r, &shard.globals);
+                }
+                Some(res)
+            })
+            .collect();
+        // Per-query merge over the shards this query targeted (slot
+        // order), with per-query health relative to its selection.
+        parlay::tabulate(nq, |q| {
+            let mut lists: Vec<&[(u32, f32)]> = Vec::with_capacity(rows[q].len());
+            let mut stats = SearchStats::default();
+            let mut failed = ShardSet::new();
+            let mut probed = 0u32;
+            for &(s, row) in &rows[q] {
+                match &per_shard[s] {
+                    Some(res) => {
+                        let (r, st) = &res[row];
+                        lists.push(r.as_slice());
+                        stats.merge(st);
+                        probed += 1;
+                    }
+                    None => failed.insert(s),
+                }
+            }
+            stats.routed_shards = rows[q].len() as u32;
+            stats.probed_shards = probed;
+            stats.failed_shards = failed;
+            stats.failovers = failovers;
+            (merge_topk(&lists, k), stats)
+        })
+    }
 }
 
-/// Surviving-shard count and failed-slot mask of a fan-out.
-fn health<R>(per_shard: &[Option<R>]) -> (u32, u64) {
+/// Surviving-shard count and failed-slot set of a full fan-out.
+fn health<R>(per_shard: &[Option<R>]) -> (u32, ShardSet) {
     let mut probed = 0u32;
-    let mut failed = 0u64;
+    let mut failed = ShardSet::new();
     for (s, res) in per_shard.iter().enumerate() {
         match res {
             Some(_) => probed += 1,
-            None => failed |= shard_bit(s),
+            None => failed.insert(s),
         }
     }
     (probed, failed)
 }
 
 impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
-    /// Single-query fan-out: shards searched in parallel on the pool
-    /// (each through its replica set), merged by `(distance, global id)`
-    /// over whichever shards survive.
+    /// Single-query fan-out: target shards searched in parallel on the
+    /// pool (each through its replica set), merged by
+    /// `(distance, global id)` over whichever of them survive. Targets
+    /// are all shards, or the routed subset (see [`Routing`]) — the
+    /// routed path enumerates slots in increasing order, so
+    /// `nprobe = N` is bitwise-identical to full fan-out.
     fn search(&self, query: &[T], params: &QueryParams) -> (Vec<(u32, f32)>, SearchStats) {
-        let per_shard: Vec<Option<(Vec<(u32, f32)>, SearchStats, u32)>> =
-            parlay::tabulate(self.shards.len(), |s| {
+        let routed = self.route(query);
+        let targets: Vec<usize> = match routed {
+            Some(t) => t,
+            None => (0..self.shards.len()).collect(),
+        };
+        let per_target: Vec<Option<(Vec<(u32, f32)>, SearchStats, u32)>> =
+            parlay::tabulate(targets.len(), |t| {
+                let s = targets[t];
                 let shard = &self.shards[s];
                 let outcome = self.sets[s].run(|idx| idx.search(query, params))?;
                 let (mut res, stats) = outcome.value;
                 globalize(&mut res, &shard.globals);
                 Some((res, stats, outcome.failovers))
             });
-        let (probed, failed) = health(&per_shard);
+        let mut failed = ShardSet::new();
+        let mut probed = 0u32;
+        for (t, res) in per_target.iter().enumerate() {
+            match res {
+                Some(_) => probed += 1,
+                None => failed.insert(targets[t]),
+            }
+        }
         let mut lists = Vec::with_capacity(probed as usize);
         let mut stats = SearchStats::default();
         let mut failovers = 0u32;
-        for (res, st, f) in per_shard.into_iter().flatten() {
+        for (res, st, f) in per_target.into_iter().flatten() {
             lists.push(res);
             stats.merge(&st);
             failovers += f;
         }
+        stats.routed_shards = targets.len() as u32;
         stats.probed_shards = probed;
         stats.failed_shards = failed;
         stats.failovers = failovers;
@@ -399,15 +612,22 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
         self.dim
     }
 
-    /// Batched fan-out: each shard runs the whole query set through its
-    /// own (query-blocked, batch-parallel) path, then per-query merges
-    /// run in parallel.
+    /// Batched fan-out: without routing, each shard runs the whole query
+    /// set through its own (query-blocked, batch-parallel) path; with
+    /// routing, queries are routed first and grouped into per-shard
+    /// sub-batches ([`routed_batch`](Self::routed_batch)). Per-query
+    /// merges run in parallel either way.
     fn search_batch_blocked(
         &self,
         queries: &PointSet<T>,
         params: &QueryParams,
         block_size: usize,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        if self.codebook.is_some() && self.routing.nprobe > 0 {
+            return self.routed_batch(queries, self.routing.nprobe, params.k, |idx, qs| {
+                idx.search_batch_blocked(qs, params, block_size)
+            });
+        }
         let (per_shard, failovers) =
             self.fan_out_batch(|idx| idx.search_batch_blocked(queries, params, block_size));
         self.merge_batches(per_shard, failovers, queries.len(), params.k)
@@ -415,13 +635,19 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
 
     /// Serving path: the fan-out happens **inside** the dispatched batch,
     /// every shard sharing the caller's long-lived engine (one scratch
-    /// pool across shards and batches).
+    /// pool across shards and batches). Routes per query before grouping,
+    /// like [`search_batch_blocked`](Self::search_batch_blocked).
     fn search_batch_in(
         &self,
         queries: &PointSet<T>,
         params: &QueryParams,
         engine: &QueryEngine<T>,
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
+        if self.codebook.is_some() && self.routing.nprobe > 0 {
+            return self.routed_batch(queries, self.routing.nprobe, params.k, |idx, qs| {
+                idx.search_batch_in(qs, params, engine)
+            });
+        }
         let (per_shard, failovers) =
             self.fan_out_batch(|idx| idx.search_batch_in(queries, params, engine));
         self.merge_batches(per_shard, failovers, queries.len(), params.k)
@@ -429,7 +655,9 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
 
     /// Range fan-out: shards report independently (parallel), and the
     /// disjoint hit lists merge under the same total order (no `k`
-    /// truncation — everything within the radius is reported).
+    /// truncation — everything within the radius is reported). Always a
+    /// **full** fan-out, routing notwithstanding: the radius contract is
+    /// about the whole corpus.
     fn range_search(&self, query: &[T], params: &RangeParams) -> (Vec<(u32, f32)>, SearchStats) {
         let per_shard: Vec<Option<(Vec<(u32, f32)>, SearchStats, u32)>> =
             parlay::tabulate(self.shards.len(), |s| {
@@ -448,6 +676,7 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
             stats.merge(&st);
             failovers += f;
         }
+        stats.routed_shards = self.shards.len() as u32;
         stats.probed_shards = probed;
         stats.failed_shards = failed;
         stats.failovers = failovers;
@@ -474,6 +703,14 @@ mod tests {
             Arc::new(ExactIndex::new(ps, metric))
         });
         (sharded, ExactIndex::new(d.points, metric))
+    }
+
+    fn exact_kmeans_sharded(n: usize, shards: usize, seed: u64) -> ShardedIndex<u8> {
+        let d = bigann_like(n, 1, seed);
+        let metric = d.metric;
+        ShardedIndex::build_with(&d.points, Partitioner::kmeans(shards, 7), |_, ps| {
+            Arc::new(ExactIndex::new(ps, metric))
+        })
     }
 
     #[test]
@@ -558,6 +795,80 @@ mod tests {
     }
 
     #[test]
+    fn routed_batch_paths_match_routed_single_query() {
+        let mut sharded = exact_kmeans_sharded(700, 4, 61);
+        sharded.set_routing(Routing::nprobe(2));
+        let d = bigann_like(700, 16, 61);
+        let params = QueryParams {
+            k: 6,
+            ..QueryParams::default()
+        };
+        let batched = sharded.search_batch(&d.queries, &params);
+        let engine = QueryEngine::new();
+        let via_engine = sharded.search_batch_in(&d.queries, &params, &engine);
+        for q in 0..d.queries.len() {
+            let (single, single_stats) = sharded.search(d.queries.point(q), &params);
+            assert_eq!(single_stats.routed_shards, 2);
+            assert_eq!(single_stats.probed_shards, 2);
+            assert_eq!(batched[q].0, single, "routed batch vs single, query {q}");
+            assert_eq!(batched[q].1, single_stats);
+            assert_eq!(
+                via_engine[q].0, single,
+                "routed engine vs single, query {q}"
+            );
+            assert_eq!(via_engine[q].1, single_stats);
+        }
+    }
+
+    #[test]
+    fn routing_nprobe_one_searches_exactly_the_closest_shard() {
+        let mut sharded = exact_kmeans_sharded(400, 4, 71);
+        sharded.set_routing(Routing::nprobe(1));
+        let d = bigann_like(400, 8, 71);
+        let params = QueryParams {
+            k: 5,
+            ..QueryParams::default()
+        };
+        let cb = sharded
+            .codebook()
+            .expect("kmeans build has a codebook")
+            .clone();
+        for q in 0..d.queries.len() {
+            let (res, stats) = sharded.search(d.queries.point(q), &params);
+            assert_eq!(stats.routed_shards, 1);
+            assert_eq!(stats.probed_shards, 1);
+            // Every result id must live in the routed shard.
+            let slot = cb.route(d.queries.point(q), 1)[0];
+            let members: std::collections::HashSet<u32> =
+                sharded.shards()[slot].globals.iter().copied().collect();
+            for &(id, _) in &res {
+                assert!(
+                    members.contains(&id),
+                    "query {q}: id {id} not in shard {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_without_codebook_is_inert() {
+        let (mut sharded, whole) = exact_sharded(300, 3, 81);
+        assert!(sharded.codebook().is_none(), "hash build has no codebook");
+        sharded.set_routing(Routing::nprobe(1));
+        let d = bigann_like(300, 5, 81);
+        let params = QueryParams {
+            k: 7,
+            ..QueryParams::default()
+        };
+        for q in 0..d.queries.len() {
+            let (got, stats) = sharded.search(d.queries.point(q), &params);
+            let (want, _) = whole.search(d.queries.point(q), &params);
+            assert_eq!(got, want, "query {q}");
+            assert_eq!(stats.routed_shards, 3, "full fan-out targets all shards");
+        }
+    }
+
+    #[test]
     fn range_search_unions_shards() {
         let (sharded, whole) = exact_sharded(300, 4, 55);
         let d = bigann_like(300, 4, 55);
@@ -575,6 +886,21 @@ mod tests {
         let (got, _) = sharded.range_search(d.queries.point(0), &rp);
         let (want, _) = whole.range_search(d.queries.point(0), &rp);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_search_ignores_routing() {
+        let mut sharded = exact_kmeans_sharded(300, 4, 91);
+        let d = bigann_like(300, 3, 91);
+        let rp = RangeParams {
+            radius: 1e9,
+            ..RangeParams::default()
+        };
+        let (want, _) = sharded.range_search(d.queries.point(0), &rp);
+        sharded.set_routing(Routing::nprobe(1));
+        let (got, stats) = sharded.range_search(d.queries.point(0), &rp);
+        assert_eq!(got, want, "range must stay exhaustive under routing");
+        assert_eq!(stats.probed_shards, 4);
     }
 
     #[test]
