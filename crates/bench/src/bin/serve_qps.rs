@@ -25,7 +25,7 @@
 //!   diffs across `PARLAY_NUM_THREADS` settings.
 //!
 //! ```text
-//! cargo run --release -p parlayann_bench --bin serve_qps [--chaos] [n] [out.json]
+//! cargo run --release -p parlayann_bench --bin serve_qps [--chaos] [--metrics-dump] [n] [out.json]
 //! ```
 //!
 //! Defaults: `n` = 10 000 points (or `PARLAYANN_SCALE`), output
@@ -34,10 +34,18 @@
 //! lower-latency, lower-throughput batches. The printed result
 //! fingerprint depends only on `(index, queries, params)` — CI diffs it
 //! across `PARLAY_NUM_THREADS` settings.
+//!
+//! When the observability layer is on (`PARLAYANN_OBS` unset or `on`),
+//! each load point also reports **server-side** p50/p90/p99 (from the
+//! serve layer's submit→reply histogram — no client-side timing noise)
+//! and the mean coalescer depth; both land in the JSON record.
+//! `--metrics-dump` prints the full Prometheus-style exposition after
+//! the run.
 
 use ann_data::bigann_like;
 use parlayann::{AnnIndex, QueryParams, SearchStats, VamanaIndex, VamanaParams};
-use parlayann_serve::{Rejected, Server, ServerConfig};
+use parlayann_obs::{Histogram, HistogramSnapshot};
+use parlayann_serve::{metric_names, Rejected, Server, ServerConfig};
 use parlayann_store::{BreakerConfig, FaultPlan, FaultyIndex, Partitioner, Shard, ShardedIndex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,6 +80,48 @@ struct LoadResult {
     shed_share: f64,
     /// Replica failover attempts paid by the server across the run.
     failovers: u64,
+    /// Server-side submit→reply percentiles from the obs layer's
+    /// `parlayann_serve_request_ns` histogram (0 when obs is off).
+    srv_p50_us: f64,
+    srv_p90_us: f64,
+    srv_p99_us: f64,
+    /// Mean coalescer depth sampled at each admit (0 when obs is off).
+    mean_queue_depth: f64,
+}
+
+/// Handles into the serve layer's global-registry histograms, for
+/// per-load-point interval snapshots. `None` when obs is off — the serve
+/// layer registers nothing then, and neither do we.
+fn obs_hists() -> Option<(Arc<Histogram>, Arc<Histogram>)> {
+    let obs = parlayann_obs::global();
+    if !obs.enabled() {
+        return None;
+    }
+    let r = obs.registry();
+    Some((
+        r.histogram(metric_names::REQUEST_NS, &[], ""),
+        r.histogram(metric_names::QUEUE_DEPTH, &[], ""),
+    ))
+}
+
+/// Quantiles/mean over the interval between two snapshots of the shared
+/// (process-lifetime) histograms: `now - before` isolates this load
+/// point's samples even though every load point shares the registry.
+fn interval_stats(
+    hists: &Option<(Arc<Histogram>, Arc<Histogram>)>,
+    before: &Option<(HistogramSnapshot, HistogramSnapshot)>,
+) -> (f64, f64, f64, f64) {
+    let (Some((req, depth)), Some((req0, depth0))) = (hists, before) else {
+        return (0.0, 0.0, 0.0, 0.0);
+    };
+    let req = req.snapshot().since(req0);
+    let depth = depth.snapshot().since(depth0);
+    (
+        req.quantile(0.50) as f64 / 1e3,
+        req.quantile(0.90) as f64 / 1e3,
+        req.quantile(0.99) as f64 / 1e3,
+        depth.mean(),
+    )
 }
 
 /// How many requests each client keeps in flight. 4 clients × 16 =
@@ -123,6 +173,13 @@ fn run_load(
     } else {
         Duration::ZERO
     };
+    // Obs-layer interval bookends: load points share the process-wide
+    // registry, so this point's server-side quantiles are diffed out of
+    // before/after snapshots.
+    let hists = obs_hists();
+    let before = hists
+        .as_ref()
+        .map(|(rq, qd)| (rq.snapshot(), qd.snapshot()));
     let t0 = Instant::now();
     let (latencies, identical): (Vec<Vec<f64>>, Vec<bool>) = std::thread::scope(|scope| {
         let joins: Vec<_> = (0..clients)
@@ -197,6 +254,7 @@ fn run_load(
     let mut lats: Vec<f64> = latencies.into_iter().flatten().collect();
     lats.sort_by(|a, b| a.total_cmp(b));
     let attempts = (clients * per_client) as f64;
+    let (srv_p50_us, srv_p90_us, srv_p99_us, mean_queue_depth) = interval_stats(&hists, &before);
     (
         LoadResult {
             offered_qps,
@@ -212,6 +270,10 @@ fn run_load(
             },
             shed_share: stats.shed as f64 / attempts,
             failovers: stats.failovers,
+            srv_p50_us,
+            srv_p90_us,
+            srv_p99_us,
+            mean_queue_depth,
         },
         identical.into_iter().all(|b| b),
     )
@@ -235,6 +297,22 @@ fn print_table(results: &[LoadResult]) {
             r.deadline_share * 100.0,
             r.shed_share * 100.0
         );
+    }
+    // Server-side view (obs layer): submit→reply latency without the
+    // clients' pipelining/scheduling noise, plus mean coalescer depth.
+    if results.iter().any(|r| r.srv_p99_us > 0.0) {
+        println!("\n  server-side  srv_p50   srv_p90   srv_p99   qdepth");
+        for r in results {
+            let offered = if r.offered_qps.is_finite() {
+                format!("{:>8.0}", r.offered_qps)
+            } else {
+                "  closed".to_string()
+            };
+            println!(
+                "  {offered}    {:>7.0}us {:>7.0}us {:>7.0}us   {:>5.1}",
+                r.srv_p50_us, r.srv_p90_us, r.srv_p99_us, r.mean_queue_depth
+            );
+        }
     }
 }
 
@@ -418,9 +496,10 @@ fn run_chaos(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let chaos = args.iter().any(|a| a == "--chaos");
+    let metrics_dump = args.iter().any(|a| a == "--metrics-dump");
     let positional: Vec<&String> = args[1..]
         .iter()
-        .filter(|a| a.as_str() != "--chaos")
+        .filter(|a| a.as_str() != "--chaos" && a.as_str() != "--metrics-dump")
         .collect();
     let n: usize = positional
         .first()
@@ -448,6 +527,10 @@ fn main() {
         run_chaos(
             n, &out_path, budget, budget_us, threads, clients, per_client,
         );
+        if metrics_dump {
+            println!("\n=== metrics ===");
+            print!("{}", parlayann_obs::global().render());
+        }
         return;
     }
 
@@ -483,6 +566,9 @@ fn main() {
         0,
     );
     let capacity_qps = capacity.achieved_qps;
+    // Parsed by CI's obs-overhead gate: obs-on closed-loop capacity must
+    // stay within a few percent of obs-off.
+    println!("CLOSED_LOOP_QPS {capacity_qps:.1}");
     let mut results = vec![capacity];
     let mut identical = cap_ok;
     for frac in [0.8, 0.4] {
@@ -560,12 +646,25 @@ fn main() {
             3,
         )
         .float_list("shed_share", results.iter().map(|r| r.shed_share), 3)
+        .bool("obs", parlayann_obs::global().enabled())
+        .float_list("srv_p50_us", results.iter().map(|r| r.srv_p50_us), 1)
+        .float_list("srv_p90_us", results.iter().map(|r| r.srv_p90_us), 1)
+        .float_list("srv_p99_us", results.iter().map(|r| r.srv_p99_us), 1)
+        .float_list(
+            "mean_queue_depth",
+            results.iter().map(|r| r.mean_queue_depth),
+            2,
+        )
         .str("fingerprint", &format!("0x{fp:016x}"))
         .bool("identical", identical)
         .finish();
     parlayann_bench::append_record(&out_path, &record).expect("failed to write bench record");
     println!("  appended record to {out_path}");
     println!("FINGERPRINT 0x{fp:016x}");
+    if metrics_dump {
+        println!("\n=== metrics ===");
+        print!("{}", parlayann_obs::global().render());
+    }
 
     if !identical {
         std::process::exit(1);

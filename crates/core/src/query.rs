@@ -775,7 +775,9 @@ impl<T: VectorElem> QueryEngine<T> {
             return Vec::new();
         }
         if self.block_size == 1 {
-            return self.search_each(queries, points, metric, view, starts, params);
+            let results = self.search_each(queries, points, metric, view, starts, params);
+            engine_obs_record(&results, params.stats.enabled());
+            return results;
         }
         let bs = self.block_size;
         let per_block: Vec<Vec<(Vec<(u32, f32)>, SearchStats)>> = (0..nq.div_ceil(bs))
@@ -799,7 +801,10 @@ impl<T: VectorElem> QueryEngine<T> {
                 out
             })
             .collect();
-        per_block.into_iter().flatten().collect()
+        let results: Vec<(Vec<(u32, f32)>, SearchStats)> =
+            per_block.into_iter().flatten().collect();
+        engine_obs_record(&results, params.stats.enabled());
+        results
     }
 
     /// Block-size-1 path: independent single-query searches over pooled
@@ -858,6 +863,47 @@ impl<T: VectorElem> Default for QueryEngine<T> {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Folds per-query engine work (distance computations, beam hops) into
+/// the global observability histograms. Runs once per batch *after* the
+/// results exist, off the lockstep hot loop; skipped entirely when the
+/// obs layer is off or the caller disabled stats tracking (the counters
+/// would all be zero). Telemetry only reads the stats — results are
+/// bit-identical with obs on or off.
+fn engine_obs_record(results: &[(Vec<(u32, f32)>, SearchStats)], tracked: bool) {
+    use std::sync::OnceLock;
+    let obs = parlayann_obs::global();
+    if !tracked || !obs.enabled() || results.is_empty() {
+        return;
+    }
+    type Handles = (
+        std::sync::Arc<parlayann_obs::Histogram>,
+        std::sync::Arc<parlayann_obs::Histogram>,
+        std::sync::Arc<parlayann_obs::Counter>,
+    );
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    let (dist, hops, queries) = HANDLES.get_or_init(|| {
+        let r = obs.registry();
+        (
+            r.histogram(
+                "parlayann_engine_dist_comps",
+                &[],
+                "distance computations per query",
+            ),
+            r.histogram("parlayann_engine_hops", &[], "beam-search hops per query"),
+            r.counter(
+                "parlayann_engine_queries_total",
+                &[],
+                "queries answered by the query engine",
+            ),
+        )
+    });
+    for (_, s) in results {
+        dist.record(s.dist_comps as u64);
+        hops.record(s.hops as u64);
+    }
+    queries.add(results.len() as u64);
 }
 
 /// One-call query-blocked batch over a graph view — the shared body of

@@ -1,0 +1,252 @@
+//! Named-metric registry and Prometheus text exposition.
+//!
+//! Registration (get-or-create by name + label set) takes a mutex, but
+//! happens once per metric per process — callers cache the returned
+//! `Arc` handle and the hot path touches only the metric's own atomics.
+//! Rendering sorts families and series so the exposition text is
+//! deterministic (golden-tested).
+
+use crate::hist::Histogram;
+use crate::metric::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Series {
+    /// Pre-rendered `key="value",...` label body ("" when unlabelled).
+    labels: String,
+    kind: Kind,
+}
+
+struct Family {
+    help: String,
+    series: Vec<Series>,
+}
+
+/// Registry of metric families. Series within a family share a type and
+/// differ by label set.
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped: String = v
+            .chars()
+            .flat_map(|c| match c {
+                '\\' => vec!['\\', '\\'],
+                '"' => vec!['\\', '"'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn get_or_insert<T, F, G>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: F,
+        pick: G,
+    ) -> Arc<T>
+    where
+        F: FnOnce() -> (Arc<T>, Kind),
+        G: Fn(&Kind) -> Option<Arc<T>>,
+    {
+        let body = render_labels(labels);
+        let mut fams = self.families.lock().unwrap();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: Vec::new(),
+        });
+        if let Some(s) = fam.series.iter().find(|s| s.labels == body) {
+            return pick(&s.kind).unwrap_or_else(|| {
+                panic!(
+                    "metric `{name}` already registered as {}",
+                    s.kind.type_name()
+                )
+            });
+        }
+        let (handle, kind) = make();
+        fam.series.push(Series { labels: body, kind });
+        fam.series.sort_by(|a, b| a.labels.cmp(&b.labels));
+        handle
+    }
+
+    /// Get or create a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            || {
+                let c = Arc::new(Counter::new());
+                (c.clone(), Kind::Counter(c))
+            },
+            |k| match k {
+                Kind::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            || {
+                let g = Arc::new(Gauge::new());
+                (g.clone(), Kind::Gauge(g))
+            },
+            |k| match k {
+                Kind::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            || {
+                let h = Arc::new(Histogram::new());
+                (h.clone(), Kind::Histogram(h))
+            },
+            |k| match k {
+                Kind::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Render every family in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, then one line per series (counters
+    /// and gauges) or the `_bucket{le=...}` / `_sum` / `_count` triple
+    /// (histograms, non-empty buckets only). Output order is
+    /// deterministic: families by name, series by label body.
+    pub fn render(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in fams.iter() {
+            let ty = match fam.series.first() {
+                Some(s) => s.kind.type_name(),
+                None => continue,
+            };
+            let _ = writeln!(out, "# HELP {name} {}", fam.help);
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+            for s in &fam.series {
+                let braces = |extra: &str| -> String {
+                    match (s.labels.is_empty(), extra.is_empty()) {
+                        (true, true) => String::new(),
+                        (true, false) => format!("{{{extra}}}"),
+                        (false, true) => format!("{{{}}}", s.labels),
+                        (false, false) => format!("{{{},{extra}}}", s.labels),
+                    }
+                };
+                match &s.kind {
+                    Kind::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braces(""), c.get());
+                    }
+                    Kind::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braces(""), g.get());
+                    }
+                    Kind::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for (le, cum) in snap.cumulative_buckets() {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                braces(&format!("le=\"{le}\""))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            braces("le=\"+Inf\""),
+                            snap.count()
+                        );
+                        let _ = writeln!(out, "{name}_sum{} {}", braces(""), snap.sum());
+                        let _ = writeln!(out, "{name}_count{} {}", braces(""), snap.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("shard", "0")], "h");
+        let b = r.counter("x_total", &[("shard", "0")], "h");
+        let c = r.counter("x_total", &[("shard", "1")], "h");
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", &[], "h");
+        let _ = r.gauge("m", &[], "h");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let c = r.counter("esc_total", &[("p", "a\"b\\c\nd")], "h");
+        c.inc();
+        assert!(r.render().contains("esc_total{p=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

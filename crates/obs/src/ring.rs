@@ -1,0 +1,149 @@
+//! Fixed-size lock-free ring buffer of [`Trace`] records.
+//!
+//! Writers claim a position with one `fetch_add` and publish through a
+//! per-slot seqlock version; readers copy optimistically and retry-free
+//! discard any slot whose version moved under them. Nobody ever blocks:
+//! a writer that loses the claim race for a slot (it was lapped while
+//! stalled) simply drops its record — acceptable for telemetry, and the
+//! price of bounded memory with N concurrent writers.
+//!
+//! Slot version protocol (monotone per slot): position `p` writes
+//! version `2p + 1` while copying and `2p + 2` when done; `0` means
+//! never written. Odd ⇒ in progress, even ⇒ consistent, so a reader
+//! that sees the same even version before and after its copy holds an
+//! untorn record.
+
+use crate::trace::Trace;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+struct Slot {
+    version: AtomicU64,
+    data: UnsafeCell<Trace>,
+}
+
+// SAFETY: `data` is only read/written under the seqlock protocol above —
+// writers have exclusive claim via the version CAS, readers validate the
+// version around a volatile copy and discard torn reads.
+unsafe impl Sync for Slot {}
+
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    cursor: AtomicU64,
+}
+
+impl TraceRing {
+    /// Build a ring with capacity rounded up to a power of two (min 2).
+    pub fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| Slot {
+                version: AtomicU64::new(0),
+                data: UnsafeCell::new(Trace::default()),
+            })
+            .collect();
+        TraceRing {
+            slots,
+            mask: (cap - 1) as u64,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records pushed so far (not clamped to capacity).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Publish a record. Never blocks; may drop the record if this
+    /// writer was lapped before finishing its claim.
+    pub fn push(&self, t: &Trace) {
+        let pos = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let busy = pos.wrapping_mul(2).wrapping_add(1);
+        let done = busy.wrapping_add(1);
+        let cur = slot.version.load(Ordering::Relaxed);
+        if cur >= busy {
+            // A later lap already owns this slot; keep the newer record.
+            return;
+        }
+        if slot
+            .version
+            .compare_exchange(cur, busy, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        // SAFETY: the CAS gave this writer exclusive claim on the slot
+        // (versions only move forward, and concurrent claimants bail).
+        unsafe { std::ptr::write_volatile(slot.data.get(), *t) };
+        slot.version.store(done, Ordering::Release);
+    }
+
+    /// Up to `max` most recent records, newest first. Slots still being
+    /// written (or lapped mid-read) are skipped, never torn.
+    pub fn recent(&self, max: usize) -> Vec<Trace> {
+        let end = self.cursor.load(Ordering::Acquire);
+        let window = end.min(self.slots.len() as u64);
+        let mut out = Vec::with_capacity(window.min(max as u64) as usize);
+        for back in 0..window {
+            if out.len() >= max {
+                break;
+            }
+            let pos = end - 1 - back;
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 & 1 == 1 {
+                continue;
+            }
+            // SAFETY: volatile copy validated by re-reading the version;
+            // a mismatch means a concurrent writer touched the slot and
+            // the copy is discarded.
+            let data = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            let v2 = slot.version.load(Ordering::Relaxed);
+            if v1 == v2 {
+                out.push(data);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(seq: u64) -> Trace {
+        Trace {
+            seq,
+            queue_ns: seq * 3,
+            total_ns: seq * 7,
+            ..Trace::default()
+        }
+    }
+
+    #[test]
+    fn newest_first_and_bounded() {
+        let ring = TraceRing::new(4);
+        for i in 0..10u64 {
+            ring.push(&tr(i));
+        }
+        let recent = ring.recent(16);
+        assert_eq!(recent.len(), 4);
+        let seqs: Vec<u64> = recent.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![9, 8, 7, 6]);
+        assert_eq!(ring.recent(2).len(), 2);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(TraceRing::new(0).capacity(), 2);
+        assert_eq!(TraceRing::new(5).capacity(), 8);
+        assert_eq!(TraceRing::new(8).capacity(), 8);
+    }
+}

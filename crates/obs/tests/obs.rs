@@ -1,0 +1,201 @@
+//! Observability-layer contracts.
+//!
+//! 1. **Histogram error bound** — every recorded value maps to a bucket
+//!    whose representative (upper bound) is within the declared relative
+//!    error `1 / HIST_SUB_BUCKETS`, and quantile queries land within the
+//!    same bound of the *exact* nearest-rank quantile of the raw stream.
+//! 2. **Shard merge is lossless** — merging per-worker histogram shards
+//!    is bit-identical to one histogram fed the concatenated stream.
+//! 3. **Exposition golden** — the Prometheus text rendering is pinned
+//!    byte-for-byte.
+//! 4. **Ring safety** — N concurrent writers never tear a record and
+//!    memory stays bounded at the ring capacity.
+
+use parlayann_obs::{Histogram, Obs, ObsMode, Registry, Trace, TraceRing, HIST_SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of a raw sample stream.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Clause 1a: each value's bucket representative overshoots by at
+    /// most `v / HIST_SUB_BUCKETS`.
+    #[test]
+    fn recorded_values_stay_within_bucket_error(v in any::<u64>()) {
+        let (lo, hi) = Histogram::bounds_for(v);
+        prop_assert!(lo <= v && v <= hi);
+        prop_assert!(hi - v <= v / HIST_SUB_BUCKETS,
+            "v={} bucket=[{},{}] overshoot {} > {}",
+            v, lo, hi, hi - v, v / HIST_SUB_BUCKETS);
+    }
+
+    /// Clause 1b: histogram quantiles vs exact quantiles of the raw
+    /// stream, across the q range, within the declared relative error.
+    #[test]
+    fn quantiles_match_exact_within_declared_error(
+        values in proptest::collection::vec(0u64..1_000_000_000_000, 1..400),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs.into_iter().chain([0.0, 0.5, 0.99, 1.0]) {
+            let exact = exact_quantile(&sorted, q);
+            let approx = h.quantile(q);
+            prop_assert!(approx >= exact,
+                "q={}: approx {} below exact {}", q, approx, exact);
+            prop_assert!(approx - exact <= exact / HIST_SUB_BUCKETS,
+                "q={}: approx {} vs exact {} breaks the 1/{} bound",
+                q, approx, exact, HIST_SUB_BUCKETS);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    /// Clause 2: merge of per-worker shards ≡ single histogram over the
+    /// concatenated stream — snapshots (buckets, sum, count, max) and
+    /// therefore every quantile answer are identical.
+    #[test]
+    fn shard_merge_equals_concatenated_stream(
+        s1 in proptest::collection::vec(any::<u64>(), 0..200),
+        s2 in proptest::collection::vec(any::<u64>(), 0..200),
+        s3 in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let merged = Histogram::new();
+        for stream in [&s1, &s2, &s3] {
+            let shard = Histogram::new();
+            for &v in stream.iter() {
+                shard.record(v);
+            }
+            merged.merge_from(&shard);
+        }
+        let single = Histogram::new();
+        for &v in s1.iter().chain(&s2).chain(&s3) {
+            single.record(v);
+        }
+        prop_assert_eq!(merged.snapshot(), single.snapshot());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+}
+
+/// Clause 3: the exposition format is pinned byte-for-byte. Families
+/// render sorted by name, series by label body; histograms emit
+/// non-empty cumulative buckets, `+Inf`, `_sum`, `_count`.
+#[test]
+fn exposition_format_golden() {
+    let r = Registry::new();
+    let c0 = r.counter("demo_requests_total", &[], "requests accepted");
+    let g = r.gauge("demo_queue_depth", &[("server", "a")], "queued requests");
+    let h = r.histogram("demo_wait_ns", &[("shard", "0")], "queue wait");
+    c0.add(3);
+    g.set(-2);
+    h.record(5);
+    h.record(100); // bucket [100, 101] at 32 sub-buckets per octave
+    let expected = "\
+# HELP demo_queue_depth queued requests
+# TYPE demo_queue_depth gauge
+demo_queue_depth{server=\"a\"} -2
+# HELP demo_requests_total requests accepted
+# TYPE demo_requests_total counter
+demo_requests_total 3
+# HELP demo_wait_ns queue wait
+# TYPE demo_wait_ns histogram
+demo_wait_ns_bucket{shard=\"0\",le=\"5\"} 1
+demo_wait_ns_bucket{shard=\"0\",le=\"101\"} 2
+demo_wait_ns_bucket{shard=\"0\",le=\"+Inf\"} 2
+demo_wait_ns_sum{shard=\"0\"} 105
+demo_wait_ns_count{shard=\"0\"} 2
+";
+    assert_eq!(r.render(), expected);
+}
+
+/// Clause 4: N writers hammer one ring; every record read back must be
+/// internally consistent (fields are all functions of `seq`, so a torn
+/// record is detectable), and the ring never exceeds its capacity.
+#[test]
+fn concurrent_writers_never_tear_records() {
+    fn stamp(seq: u64) -> Trace {
+        Trace {
+            seq,
+            generation: seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            queue_ns: seq.wrapping_mul(3),
+            search_ns: seq ^ 0x5a5a_5a5a,
+            total_ns: seq.wrapping_add(17),
+            batch_size: seq as u32,
+            ..Trace::default()
+        }
+    }
+
+    let ring = std::sync::Arc::new(TraceRing::new(64));
+    let writers = 8;
+    let per_writer = 2_000u64;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let ring = ring.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per_writer {
+                ring.push(&stamp(w * per_writer + i));
+            }
+        }));
+    }
+    // A reader races the writers the whole time.
+    let reader = {
+        let ring = ring.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut seen = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for t in ring.recent(64) {
+                    assert_eq!(t, stamp(t.seq), "torn trace record");
+                    seen += 1;
+                }
+            }
+            seen
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    reader.join().unwrap();
+
+    let final_read = ring.recent(usize::MAX);
+    assert!(final_read.len() <= 64, "ring exceeded its capacity");
+    assert!(!final_read.is_empty());
+    for t in &final_read {
+        assert_eq!(*t, stamp(t.seq), "torn trace record after quiesce");
+    }
+    assert_eq!(ring.pushed(), writers * per_writer);
+}
+
+/// Slow-query log: only traces over the threshold reach the slow ring,
+/// and both rings honour ObsMode::Off.
+#[test]
+fn slow_query_log_thresholds() {
+    let obs = Obs::with_config(ObsMode::On, 32, 5_000);
+    for i in 0..10u64 {
+        let t = Trace {
+            seq: i,
+            total_ns: i * 1_000,
+            ..Trace::default()
+        };
+        obs.record_trace(&t);
+    }
+    assert_eq!(obs.recent_traces().len(), 10);
+    let slow = obs.slow_traces();
+    assert_eq!(slow.len(), 5); // 5_000..=9_000
+    assert!(slow.iter().all(|t| t.total_ns >= 5_000));
+    assert!(obs.render().contains("parlayann_slow_queries_total 5"));
+}

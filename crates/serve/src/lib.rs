@@ -36,8 +36,8 @@ pub mod server;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use coalescer::{Coalescer, Deadlined, DispatchReason, Poll};
 pub use server::{
-    Rejected, ReloadError, Response, ResponseHandle, Server, ServerConfig, ServerStatsSnapshot,
-    SubmitError,
+    metric_names, Rejected, ReloadError, Response, ResponseHandle, Server, ServerConfig,
+    ServerStatsSnapshot, SubmitError,
 };
 
 #[cfg(test)]
@@ -71,6 +71,7 @@ mod tests {
             max_block,
             workers: 2,
             max_queue: 0,
+            obs: None,
         }
     }
 

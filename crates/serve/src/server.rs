@@ -22,11 +22,29 @@ use crate::clock::{Clock, ManualClock, WallClock};
 use crate::coalescer::{Coalescer, Deadlined, DispatchReason, Poll};
 use ann_data::{PointSet, VectorElem};
 use parlayann::{AnnIndex, QueryEngine, QueryParams, SearchStats};
+use parlayann_obs::{Counter, Gauge, Histogram, Obs, Trace};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Serve-layer metric names (exposed so harnesses like `serve_qps` can
+/// look the series up in the global registry for interval snapshots).
+pub mod metric_names {
+    /// Histogram: submit → reply server-side latency per request, ns.
+    pub const REQUEST_NS: &str = "parlayann_serve_request_ns";
+    /// Histogram: submit → dispatch coalescer wait per request, ns.
+    pub const QUEUE_WAIT_NS: &str = "parlayann_serve_queue_wait_ns";
+    /// Histogram: batch execution wall time, ns.
+    pub const BATCH_SERVICE_NS: &str = "parlayann_serve_batch_service_ns";
+    /// Histogram: requests per executed batch.
+    pub const BATCH_SIZE: &str = "parlayann_serve_batch_size";
+    /// Histogram: coalescer depth sampled at each admit.
+    pub const QUEUE_DEPTH: &str = "parlayann_serve_queue_depth";
+    /// Histogram: budget remaining at dispatch per request, ns.
+    pub const DEADLINE_SLACK_NS: &str = "parlayann_serve_deadline_slack_ns";
+}
 
 /// Serving knobs. `Default` reads the same `PARLAYANN_BLOCK` knob as the
 /// query engine, so offline and online batch shapes agree out of the box.
@@ -53,6 +71,10 @@ pub struct ServerConfig {
     /// requests stays pinned near `max_queue / throughput` while the
     /// shed rate absorbs the excess.
     pub max_queue: usize,
+    /// Observability sink. `None` (the default) uses the process-wide
+    /// [`parlayann_obs::global`] instance, whose mode comes from
+    /// `PARLAYANN_OBS`; tests pass a private [`Obs`] for isolation.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +84,7 @@ impl Default for ServerConfig {
             max_block: parlayann::default_block().max(2),
             workers: 2,
             max_queue: 0,
+            obs: None,
         }
     }
 }
@@ -388,6 +411,129 @@ impl<T: VectorElem> Clone for CurrentIndex<T> {
     }
 }
 
+/// Where this server's telemetry goes: the process-wide instance (the
+/// default) or a private one injected through [`ServerConfig::obs`].
+enum ObsSrc {
+    Global,
+    Local(Arc<Obs>),
+}
+
+impl ObsSrc {
+    fn obs(&self) -> &Obs {
+        match self {
+            ObsSrc::Global => parlayann_obs::global(),
+            ObsSrc::Local(o) => o,
+        }
+    }
+}
+
+/// Pre-resolved handles into the obs registry for the serve layer's
+/// metric families. Resolved once at server construction so the hot path
+/// pays atomic increments only — never a registry lookup. Absent
+/// entirely (`None` in [`Shared::om`]) when the sink is `ObsMode::Off`,
+/// so the disabled cost is one `Option` branch per site.
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    completed: Arc<Counter>,
+    shed: Arc<Counter>,
+    degraded: Arc<Counter>,
+    failovers: Arc<Counter>,
+    isolated: Arc<Counter>,
+    batches_full: Arc<Counter>,
+    batches_deadline: Arc<Counter>,
+    batches_drain: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    queue_wait_ns: Arc<Histogram>,
+    service_ns: Arc<Histogram>,
+    request_ns: Arc<Histogram>,
+    batch_size: Arc<Histogram>,
+    queue_depth: Arc<Histogram>,
+    deadline_slack_ns: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn register(obs: &Obs) -> ServeMetrics {
+        let r = obs.registry();
+        let trigger = |t| {
+            r.counter(
+                "parlayann_serve_batches_total",
+                &[("trigger", t)],
+                "Batches executed, by dispatch trigger",
+            )
+        };
+        ServeMetrics {
+            requests: r.counter(
+                "parlayann_serve_requests_total",
+                &[],
+                "Requests accepted by submit",
+            ),
+            completed: r.counter("parlayann_serve_completed_total", &[], "Requests answered"),
+            shed: r.counter(
+                "parlayann_serve_shed_total",
+                &[],
+                "Requests refused by admission control",
+            ),
+            degraded: r.counter(
+                "parlayann_serve_degraded_total",
+                &[],
+                "Responses delivered degraded (a shard's every replica down)",
+            ),
+            failovers: r.counter(
+                "parlayann_serve_failovers_total",
+                &[],
+                "Replica failover attempts paid across batches",
+            ),
+            isolated: r.counter(
+                "parlayann_serve_isolated_failures_total",
+                &[],
+                "Requests that failed individually after a batch panic",
+            ),
+            batches_full: trigger("full"),
+            batches_deadline: trigger("deadline"),
+            batches_drain: trigger("drain"),
+            inflight: r.gauge(
+                "parlayann_serve_inflight",
+                &[],
+                "Requests inside the server (admitted, not yet answered)",
+            ),
+            queue_wait_ns: r.histogram(
+                metric_names::QUEUE_WAIT_NS,
+                &[],
+                "Submit-to-dispatch coalescer wait per request (ns)",
+            ),
+            service_ns: r.histogram(
+                metric_names::BATCH_SERVICE_NS,
+                &[],
+                "Batch execution wall time (ns)",
+            ),
+            request_ns: r.histogram(
+                metric_names::REQUEST_NS,
+                &[],
+                "Server-side submit-to-reply latency per request (ns)",
+            ),
+            batch_size: r.histogram(metric_names::BATCH_SIZE, &[], "Requests per executed batch"),
+            queue_depth: r.histogram(
+                metric_names::QUEUE_DEPTH,
+                &[],
+                "Coalescer depth sampled at each admit",
+            ),
+            deadline_slack_ns: r.histogram(
+                metric_names::DEADLINE_SLACK_NS,
+                &[],
+                "Latency budget remaining at dispatch per request (ns)",
+            ),
+        }
+    }
+
+    fn batch_trigger(&self, reason: DispatchReason) -> &Counter {
+        match reason {
+            DispatchReason::Full => &self.batches_full,
+            DispatchReason::Deadline => &self.batches_deadline,
+            DispatchReason::Drain => &self.batches_drain,
+        }
+    }
+}
+
 /// Everything the submit path, coalescer thread, and workers share.
 struct Shared<T: VectorElem> {
     index: Mutex<CurrentIndex<T>>,
@@ -419,6 +565,11 @@ struct Shared<T: VectorElem> {
     /// manual clock, which disables the projected-wait shed and keeps
     /// single-stepped tests deterministic).
     est_batch_ns: AtomicU64,
+    /// Telemetry sink (global or per-server).
+    obs_src: ObsSrc,
+    /// Pre-resolved serve-layer metric handles; `None` when the sink is
+    /// `ObsMode::Off` (the hot path then pays one branch per site).
+    om: Option<ServeMetrics>,
 }
 
 impl<T: VectorElem> Shared<T> {
@@ -524,6 +675,14 @@ impl<T: VectorElem> Server<T> {
         wall: bool,
     ) -> Arc<Shared<T>> {
         let dim = index.dim();
+        let obs_src = match &config.obs {
+            Some(o) => ObsSrc::Local(Arc::clone(o)),
+            None => ObsSrc::Global,
+        };
+        let om = obs_src
+            .obs()
+            .enabled()
+            .then(|| ServeMetrics::register(obs_src.obs()));
         Arc::new(Shared {
             engine: QueryEngine::with_block_size(config.max_block),
             index: Mutex::new(CurrentIndex {
@@ -545,6 +704,8 @@ impl<T: VectorElem> Server<T> {
             max_block: config.max_block.max(1),
             inflight: AtomicUsize::new(0),
             est_batch_ns: AtomicU64::new(0),
+            obs_src,
+            om,
         })
     }
 
@@ -603,6 +764,9 @@ impl<T: VectorElem> Server<T> {
                 if self.shared.track {
                     self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Some(m) = &self.shared.om {
+                    m.shed.inc();
+                }
                 return Err(Rejected::Shed { inflight });
             }
         }
@@ -615,7 +779,7 @@ impl<T: VectorElem> Server<T> {
             deadline_ns: now.saturating_add(budget.as_nanos().min(u64::MAX as u128) as u64),
             slot: Arc::clone(&slot),
         };
-        {
+        let depth = {
             let mut st = self.shared.lock_state();
             if !st.accepting {
                 drop(st);
@@ -623,9 +787,16 @@ impl<T: VectorElem> Server<T> {
                 return Err(Rejected::ShuttingDown);
             }
             st.coal.push(pending);
-        }
+            st.coal.len()
+        };
         if self.shared.track {
             self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = &self.shared.om {
+            m.requests.inc();
+            m.queue_depth.record(depth as u64);
+            m.inflight
+                .set(self.shared.inflight.load(Ordering::Relaxed) as i64);
         }
         // Wake the coalescer: a full block may have formed, or this
         // request's deadline may now be the nearest wake-up.
@@ -746,6 +917,26 @@ impl<T: VectorElem> Server<T> {
     /// Requests currently inside the server (admitted, not yet answered).
     pub fn inflight(&self) -> usize {
         self.shared.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Prometheus-style text exposition of every metric registered with
+    /// this server's observability sink — serve-layer histograms and
+    /// counters plus whatever the store and engine layers registered on
+    /// the same sink. Empty when the sink is `ObsMode::Off`.
+    pub fn metrics_text(&self) -> String {
+        self.shared.obs_src.obs().render()
+    }
+
+    /// The most recent completed request traces, newest first (capped at
+    /// the trace ring's capacity; empty under `ObsMode::Off`).
+    pub fn recent_traces(&self) -> Vec<Trace> {
+        self.shared.obs_src.obs().recent_traces()
+    }
+
+    /// Traces whose server-side latency crossed the slow-query threshold
+    /// (`PARLAYANN_SLOW_US`, default 10ms), newest first.
+    pub fn slow_traces(&self) -> Vec<Trace> {
+        self.shared.obs_src.obs().slow_traces()
     }
 
     /// Graceful shutdown: refuses new submits, drains every pending
@@ -877,10 +1068,13 @@ fn execute_batch<T: VectorElem>(
         Some(ps) if ps.dim() == dim => ps.clear(),
         slot => *slot = Some(PointSet::with_dim(dim)),
     }
+    let om = shared.om.as_ref();
+    let t_assemble = om.map(|_| Instant::now());
     let queries = assembly.as_mut().expect("assembly buffer just set");
     for r in &reqs {
         queries.push_row(&r.query);
     }
+    let assemble_ns = t_assemble.map_or(0, |t| t.elapsed().as_nanos() as u64);
     // Pin this batch's snapshot: one clone under a briefly-held lock.
     // The whole batch executes against it even if a reload lands
     // mid-flight, and its responses are stamped with its generation.
@@ -890,6 +1084,13 @@ fn execute_batch<T: VectorElem>(
         .unwrap_or_else(|e| e.into_inner())
         .clone();
     let started_ns = shared.clock.now_ns();
+    // Arm the thread-local span collector so a sharded index below can
+    // report per-shard search and merge times for this batch (the
+    // serve-path fan-out runs on this worker thread).
+    if om.is_some() {
+        parlayann_obs::begin_batch_spans();
+    }
+    let t_service = om.map(|_| Instant::now());
     // A panicking index (or one returning the wrong row count) must not
     // leave clients blocked in `wait` forever — and with shard/replica
     // isolation below the index (see parlayann_store), a panic that does
@@ -902,6 +1103,12 @@ fn execute_batch<T: VectorElem>(
             .index
             .search_batch_in(queries, &shared.params, &shared.engine)
     }));
+    let service_ns = t_service.map_or(0, |t| t.elapsed().as_nanos() as u64);
+    let spans = if om.is_some() {
+        parlayann_obs::take_batch_spans()
+    } else {
+        None
+    };
     let batch_size = reqs.len();
     let results = match results {
         Ok(r) => r,
@@ -927,6 +1134,10 @@ fn execute_batch<T: VectorElem>(
     let mut queue_ns_sum = 0u64;
     let mut degraded_count = 0u64;
     let batch_failovers = results.first().map(|r| r.1.failovers).unwrap_or(0);
+    let reply_clock_ns = shared.clock.now_ns();
+    let t_reply = om.map(|_| Instant::now());
+    let mut traces: Vec<Trace> = Vec::new();
+    let obs = shared.obs_src.obs();
     let mut results = results.into_iter();
     for req in reqs {
         let Some((mut neighbors, stats)) = results.next() else {
@@ -937,6 +1148,38 @@ fn execute_batch<T: VectorElem>(
         let queue_ns = dispatch_ns.saturating_sub(req.submit_ns);
         queue_ns_sum += queue_ns;
         degraded_count += stats.degraded() as u64;
+        if let Some(m) = om {
+            m.queue_wait_ns.record(queue_ns);
+            m.deadline_slack_ns
+                .record(req.deadline_ns.saturating_sub(dispatch_ns));
+            let total_ns = reply_clock_ns.saturating_sub(req.submit_ns);
+            m.request_ns.record(total_ns);
+            let sp = spans.unwrap_or_default();
+            traces.push(Trace {
+                seq: obs.next_trace_seq(),
+                generation: current.generation,
+                batch_size: batch_size.min(u32::MAX as usize) as u32,
+                reason: match reason {
+                    DispatchReason::Full => 0,
+                    DispatchReason::Deadline => 1,
+                    DispatchReason::Drain => 2,
+                },
+                shard_spans: sp.len,
+                degraded: stats.degraded(),
+                routed_shards: stats.routed_shards.min(u16::MAX as u32) as u16,
+                probed_shards: stats.probed_shards.min(u16::MAX as u32) as u16,
+                failovers: batch_failovers.min(u16::MAX as u32) as u16,
+                queue_ns,
+                assemble_ns,
+                search_ns: service_ns,
+                merge_ns: sp.merge_ns,
+                reply_ns: 0, // stamped below, once the replies are out
+                total_ns,
+                dist_comps: stats.dist_comps.min(u32::MAX as usize) as u32,
+                hops: stats.hops.min(u32::MAX as usize) as u32,
+                shard_ns: sp.shard_ns,
+            });
+        }
         req.slot.fill(Response {
             neighbors,
             routed_shards: stats.routed_shards,
@@ -967,6 +1210,22 @@ fn execute_batch<T: VectorElem>(
         // batch's count), so account it once, not per row.
         s.failovers
             .fetch_add(batch_failovers as u64, Ordering::Relaxed);
+    }
+    if let Some(m) = om {
+        m.completed.add(batch_size as u64);
+        m.batch_trigger(reason).inc();
+        m.batch_size.record(batch_size as u64);
+        m.service_ns.record(service_ns);
+        m.degraded.add(degraded_count);
+        m.failovers.add(batch_failovers as u64);
+        m.inflight
+            .set(shared.inflight.load(Ordering::Relaxed) as i64);
+        // Replies are delivered; stamp the reply span and publish traces.
+        let reply_ns = t_reply.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        for mut t in traces {
+            t.reply_ns = reply_ns;
+            obs.record_trace(&t);
+        }
     }
 }
 
@@ -1034,5 +1293,15 @@ fn isolate_batch_failure<T: VectorElem>(
         s.degraded.fetch_add(degraded_count, Ordering::Relaxed);
         s.failovers.fetch_add(failovers, Ordering::Relaxed);
         s.isolated_failures.fetch_add(failed, Ordering::Relaxed);
+    }
+    if let Some(m) = &shared.om {
+        m.completed.add(completed);
+        m.isolated.add(failed);
+        m.batch_trigger(reason).inc();
+        m.batch_size.record(batch_size as u64);
+        m.degraded.add(degraded_count);
+        m.failovers.add(failovers);
+        m.inflight
+            .set(shared.inflight.load(Ordering::Relaxed) as i64);
     }
 }

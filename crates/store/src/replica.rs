@@ -89,10 +89,51 @@ enum State {
     HalfOpen,
 }
 
+/// Per-replica breaker transition counters (observability). Counting
+/// happens *after* the state decision — telemetry records transitions,
+/// it never participates in them, so breaker behaviour (and therefore
+/// chaos fingerprints) is bit-identical with obs on or off.
+#[derive(Clone)]
+pub struct BreakerObs {
+    /// Transitions into `Tripped` (healthy trip or failed probe).
+    tripped: Arc<parlayann_obs::Counter>,
+    /// Transitions into `Probation` (probe window elapsed).
+    probation: Arc<parlayann_obs::Counter>,
+    /// Transitions into `Healthy` from a non-healthy state.
+    healed: Arc<parlayann_obs::Counter>,
+}
+
+impl BreakerObs {
+    /// Registers the three transition counters for `(shard, replica)`
+    /// in the global registry.
+    pub fn register(shard: usize, replica: usize) -> BreakerObs {
+        let r = parlayann_obs::global().registry();
+        let shard_s = shard.to_string();
+        let replica_s = replica.to_string();
+        let mk = |to: &str| {
+            r.counter(
+                "parlayann_store_breaker_transitions_total",
+                &[
+                    ("shard", shard_s.as_str()),
+                    ("replica", replica_s.as_str()),
+                    ("to", to),
+                ],
+                "circuit-breaker state transitions per replica",
+            )
+        };
+        BreakerObs {
+            tripped: mk("tripped"),
+            probation: mk("probation"),
+            healed: mk("healed"),
+        }
+    }
+}
+
 /// One replica's health: consecutive-failure trip, call-count probation.
 pub struct CircuitBreaker {
     state: Mutex<State>,
     cfg: BreakerConfig,
+    obs: Option<BreakerObs>,
 }
 
 impl CircuitBreaker {
@@ -100,6 +141,7 @@ impl CircuitBreaker {
         CircuitBreaker {
             state: Mutex::new(State::Closed { consecutive: 0 }),
             cfg,
+            obs: None,
         }
     }
 
@@ -116,6 +158,10 @@ impl CircuitBreaker {
             State::Closed { .. } => true,
             State::Open { since } if now.saturating_sub(since) >= self.cfg.probe_after => {
                 *st = State::HalfOpen;
+                drop(st);
+                if let Some(o) = &self.obs {
+                    o.probation.inc();
+                }
                 true
             }
             State::Open { .. } => false,
@@ -125,23 +171,41 @@ impl CircuitBreaker {
 
     /// Records a successful attempt: any state re-closes fully healed.
     fn on_success(&self) {
-        *self.lock() = State::Closed { consecutive: 0 };
+        let mut st = self.lock();
+        let was_healthy = matches!(*st, State::Closed { .. });
+        *st = State::Closed { consecutive: 0 };
+        drop(st);
+        if !was_healthy {
+            if let Some(o) = &self.obs {
+                o.healed.inc();
+            }
+        }
     }
 
     /// Records a failed attempt at set-call `now`: closed counts toward
     /// the trip threshold, a failed probe re-trips immediately.
     fn on_failure(&self, now: u64) {
         let mut st = self.lock();
-        *st = match *st {
+        let (next, tripped) = match *st {
             State::Closed { consecutive } if consecutive + 1 >= self.cfg.trip_after => {
-                State::Open { since: now }
+                (State::Open { since: now }, true)
             }
-            State::Closed { consecutive } => State::Closed {
-                consecutive: consecutive + 1,
-            },
-            State::HalfOpen => State::Open { since: now },
-            State::Open { since } => State::Open { since },
+            State::Closed { consecutive } => (
+                State::Closed {
+                    consecutive: consecutive + 1,
+                },
+                false,
+            ),
+            State::HalfOpen => (State::Open { since: now }, true),
+            State::Open { since } => (State::Open { since }, false),
         };
+        *st = next;
+        drop(st);
+        if tripped {
+            if let Some(o) = &self.obs {
+                o.tripped.inc();
+            }
+        }
     }
 
     /// Current state (healthy / tripped / probation).
@@ -177,6 +241,9 @@ pub struct ReplicaSet<T> {
     /// Monotonic per-set request sequence — the "clock" every breaker
     /// window is measured in.
     calls: AtomicU64,
+    /// Shard label for breaker transition counters; `None` until
+    /// [`enable_obs`](Self::enable_obs) names this set.
+    obs_shard: Option<usize>,
 }
 
 impl<T: VectorElem> ReplicaSet<T> {
@@ -188,6 +255,22 @@ impl<T: VectorElem> ReplicaSet<T> {
             cfg,
             seed,
             calls: AtomicU64::new(0),
+            obs_shard: None,
+        }
+    }
+
+    /// Exposes this set's breaker transitions as per-replica counters
+    /// (`parlayann_store_breaker_transitions_total{shard,replica,to}`)
+    /// in the global registry, labelled with the given shard slot.
+    /// No-op when the global obs layer is off. Replicas added later
+    /// inherit the label.
+    pub fn enable_obs(&mut self, shard: usize) {
+        if !parlayann_obs::global().enabled() {
+            return;
+        }
+        self.obs_shard = Some(shard);
+        for (r, b) in self.breakers.iter_mut().enumerate() {
+            b.obs = Some(BreakerObs::register(shard, r));
         }
     }
 
@@ -206,7 +289,11 @@ impl<T: VectorElem> ReplicaSet<T> {
             pd == rd || pd == 0 || rd == 0,
             "replica dimensionality diverges from the primary ({pd} vs {rd})"
         );
-        self.breakers.push(CircuitBreaker::new(self.cfg));
+        let mut breaker = CircuitBreaker::new(self.cfg);
+        if let Some(shard) = self.obs_shard {
+            breaker.obs = Some(BreakerObs::register(shard, self.breakers.len()));
+        }
+        self.breakers.push(breaker);
         self.replicas.push(replica);
     }
 

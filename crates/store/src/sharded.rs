@@ -75,6 +75,19 @@
 //! fields are written unconditionally (not gated on `StatsMode`) and
 //! overwrite whatever the children reported, so a nested sharded store
 //! describes the outermost topology.
+//!
+//! ## Observability
+//!
+//! When the global obs layer is on, every shard sub-search records its
+//! wall time into a per-slot histogram
+//! (`parlayann_store_shard_search_ns{shard=...}`), the k-way merge into
+//! `parlayann_store_merge_ns`, and probe/down counts into counters;
+//! breaker transitions surface via [`ReplicaSet::enable_obs`]. On the
+//! serve path the per-shard timings also feed the active trace's span
+//! scratch ([`parlayann_obs::record_shard_span`]). All of it reads
+//! completed results and timestamps — nothing feeds back into routing,
+//! failover, or the merge, so results are bit-identical with obs on or
+//! off.
 
 use crate::partition::{shard_members, Partitioner, ShardCodebook};
 use crate::replica::{BreakerConfig, BreakerState, ReplicaSet};
@@ -84,6 +97,7 @@ use parlayann::{
 };
 use std::cmp::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One shard: a sub-index plus its local→global id map.
 pub struct Shard<T> {
@@ -130,6 +144,84 @@ pub struct ShardedIndex<T> {
     routing: Routing,
     dim: usize,
     len: usize,
+    /// Cached global-registry handles; `None` when obs is off (the
+    /// per-search gate is then a single `Option` check).
+    obs: Option<StoreObs>,
+}
+
+/// Store-layer metric handles, registered once per store in the global
+/// registry (get-or-create, so stores share series).
+struct StoreObs {
+    /// Per-slot shard sub-search wall time.
+    shard_search_ns: Vec<Arc<parlayann_obs::Histogram>>,
+    /// K-way merge wall time (batch paths; per batch).
+    merge_ns: Arc<parlayann_obs::Histogram>,
+    /// Shard sub-searches that answered.
+    probes: Arc<parlayann_obs::Counter>,
+    /// Selected shards with every replica down.
+    shard_down: Arc<parlayann_obs::Counter>,
+    /// Queries answered by the store (any search path).
+    queries: Arc<parlayann_obs::Counter>,
+}
+
+impl StoreObs {
+    fn register(n_shards: usize) -> Option<StoreObs> {
+        let obs = parlayann_obs::global();
+        if !obs.enabled() {
+            return None;
+        }
+        let r = obs.registry();
+        Some(StoreObs {
+            shard_search_ns: (0..n_shards)
+                .map(|s| {
+                    r.histogram(
+                        "parlayann_store_shard_search_ns",
+                        &[("shard", &s.to_string())],
+                        "wall time of one shard sub-search (incl. failovers)",
+                    )
+                })
+                .collect(),
+            merge_ns: r.histogram(
+                "parlayann_store_merge_ns",
+                &[],
+                "wall time of the per-batch k-way merge",
+            ),
+            probes: r.counter(
+                "parlayann_store_probes_total",
+                &[],
+                "shard sub-searches that answered",
+            ),
+            shard_down: r.counter(
+                "parlayann_store_shard_down_total",
+                &[],
+                "selected shards whose every replica was down",
+            ),
+            queries: r.counter(
+                "parlayann_store_queries_total",
+                &[],
+                "queries answered by the sharded store",
+            ),
+        })
+    }
+
+    /// One shard sub-search finished: histogram + trace span + counter.
+    #[inline]
+    fn shard_done(&self, slot: usize, ns: u64, answered: bool) {
+        self.shard_search_ns[slot].record(ns);
+        parlayann_obs::record_shard_span(slot, ns);
+        if answered {
+            self.probes.inc();
+        } else {
+            self.shard_down.inc();
+        }
+    }
+
+    /// A batch merge finished: histogram + trace span.
+    #[inline]
+    fn merge_done(&self, ns: u64) {
+        self.merge_ns.record(ns);
+        parlayann_obs::record_merge_span(ns);
+    }
 }
 
 /// The `(distance, global id)` merge order (matches the query layer's
@@ -245,6 +337,7 @@ impl<T: VectorElem> ShardedIndex<T> {
         }
         let cfg = BreakerConfig::default();
         let sets = Self::make_sets(&shards, cfg);
+        let obs = StoreObs::register(shards.len());
         ShardedIndex {
             shards,
             sets,
@@ -253,6 +346,7 @@ impl<T: VectorElem> ShardedIndex<T> {
             routing: Routing::default(),
             dim,
             len,
+            obs,
         }
     }
 
@@ -264,7 +358,9 @@ impl<T: VectorElem> ShardedIndex<T> {
                 // Distinct routing seed per slot so replica choices
                 // decorrelate across shards within one request.
                 let seed = parlay::hash64_pair(0x0005_ea1e_d5e7, s as u64);
-                ReplicaSet::new(Arc::clone(&shard.index), seed, cfg)
+                let mut set = ReplicaSet::new(Arc::clone(&shard.index), seed, cfg);
+                set.enable_obs(s);
+                set
             })
             .collect()
     }
@@ -387,7 +483,8 @@ impl<T: VectorElem> ShardedIndex<T> {
     ) -> Vec<(Vec<(u32, f32)>, SearchStats)> {
         let (probed, failed) = health(&per_shard);
         let routed = self.shards.len() as u32;
-        parlay::tabulate(nq, |q| {
+        let merge_start = self.obs.as_ref().map(|_| Instant::now());
+        let merged = parlay::tabulate(nq, |q| {
             let lists: Vec<&[(u32, f32)]> = per_shard
                 .iter()
                 .flatten()
@@ -399,7 +496,12 @@ impl<T: VectorElem> ShardedIndex<T> {
             stats.failed_shards = failed;
             stats.failovers = failovers;
             (merge_topk(&lists, k), stats)
-        })
+        });
+        if let (Some(o), Some(t0)) = (&self.obs, merge_start) {
+            o.merge_done(t0.elapsed().as_nanos() as u64);
+            o.queries.add(nq as u64);
+        }
+        merged
     }
 
     /// Runs `run_shard` on one replica of every shard (sequentially — the
@@ -419,8 +521,14 @@ impl<T: VectorElem> ShardedIndex<T> {
             .shards
             .iter()
             .zip(&self.sets)
-            .map(|(shard, set)| {
-                let outcome = set.run(&run_shard)?;
+            .enumerate()
+            .map(|(s, (shard, set))| {
+                let t0 = self.obs.as_ref().map(|_| Instant::now());
+                let outcome = set.run(&run_shard);
+                if let (Some(o), Some(t0)) = (&self.obs, t0) {
+                    o.shard_done(s, t0.elapsed().as_nanos() as u64, outcome.is_some());
+                }
+                let outcome = outcome?;
                 failovers += outcome.failovers;
                 let mut res = outcome.value;
                 for (r, _) in &mut res {
@@ -474,7 +582,8 @@ impl<T: VectorElem> ShardedIndex<T> {
             .iter()
             .zip(&self.sets)
             .zip(&shard_qids)
-            .map(|((shard, set), qids)| {
+            .enumerate()
+            .map(|(s, ((shard, set), qids))| {
                 if qids.is_empty() {
                     return Some(Vec::new());
                 }
@@ -483,7 +592,12 @@ impl<T: VectorElem> ShardedIndex<T> {
                 let gathered: Option<PointSet<T>> =
                     (qids.len() != nq).then(|| queries.gather(qids));
                 let sub = gathered.as_ref().unwrap_or(queries);
-                let outcome = set.run(|idx| run_shard(idx, sub))?;
+                let t0 = self.obs.as_ref().map(|_| Instant::now());
+                let outcome = set.run(|idx| run_shard(idx, sub));
+                if let (Some(o), Some(t0)) = (&self.obs, t0) {
+                    o.shard_done(s, t0.elapsed().as_nanos() as u64, outcome.is_some());
+                }
+                let outcome = outcome?;
                 failovers += outcome.failovers;
                 let mut res = outcome.value;
                 for (r, _) in &mut res {
@@ -494,7 +608,8 @@ impl<T: VectorElem> ShardedIndex<T> {
             .collect();
         // Per-query merge over the shards this query targeted (slot
         // order), with per-query health relative to its selection.
-        parlay::tabulate(nq, |q| {
+        let merge_start = self.obs.as_ref().map(|_| Instant::now());
+        let merged = parlay::tabulate(nq, |q| {
             let mut lists: Vec<&[(u32, f32)]> = Vec::with_capacity(rows[q].len());
             let mut stats = SearchStats::default();
             let mut failed = ShardSet::new();
@@ -515,7 +630,12 @@ impl<T: VectorElem> ShardedIndex<T> {
             stats.failed_shards = failed;
             stats.failovers = failovers;
             (merge_topk(&lists, k), stats)
-        })
+        });
+        if let (Some(o), Some(t0)) = (&self.obs, merge_start) {
+            o.merge_done(t0.elapsed().as_nanos() as u64);
+            o.queries.add(nq as u64);
+        }
+        merged
     }
 }
 
@@ -549,11 +669,19 @@ impl<T: VectorElem> AnnIndex<T> for ShardedIndex<T> {
             parlay::tabulate(targets.len(), |t| {
                 let s = targets[t];
                 let shard = &self.shards[s];
-                let outcome = self.sets[s].run(|idx| idx.search(query, params))?;
+                let t0 = self.obs.as_ref().map(|_| Instant::now());
+                let outcome = self.sets[s].run(|idx| idx.search(query, params));
+                if let (Some(o), Some(t0)) = (&self.obs, t0) {
+                    o.shard_done(s, t0.elapsed().as_nanos() as u64, outcome.is_some());
+                }
+                let outcome = outcome?;
                 let (mut res, stats) = outcome.value;
                 globalize(&mut res, &shard.globals);
                 Some((res, stats, outcome.failovers))
             });
+        if let Some(o) = &self.obs {
+            o.queries.inc();
+        }
         let mut failed = ShardSet::new();
         let mut probed = 0u32;
         for (t, res) in per_target.iter().enumerate() {

@@ -11,10 +11,13 @@
 //! * [`parlayann_serve`] — the deadline-batched online serving front-end.
 //! * [`parlayann_store`] — the sharded vector store: multi-shard
 //!   routing, manifest persistence, live snapshot reload.
+//! * [`parlayann_obs`] — observability: metrics registry, latency
+//!   histograms, per-query traces, Prometheus-style exposition.
 
 pub use ann_baselines as baselines;
 pub use ann_data as data;
 pub use parlay;
 pub use parlayann as core;
+pub use parlayann_obs as obs;
 pub use parlayann_serve as serve;
 pub use parlayann_store as store;

@@ -44,6 +44,7 @@ fn eight_clients_get_bit_identical_responses() {
             max_block: 16,
             workers: 2,
             max_queue: 0,
+            obs: None,
         },
     ));
 
@@ -165,6 +166,7 @@ fn reload_under_load_answers_every_request_against_its_generation() {
             max_block: 16,
             workers: 2,
             max_queue: 0,
+            obs: None,
         },
     ));
     let completed = Arc::new(AtomicU64::new(0));
@@ -359,6 +361,7 @@ fn chaos_stress_answers_or_sheds_every_request_with_degraded_bit_identity() {
             max_block: 16,
             workers: 2,
             max_queue: 256,
+            obs: None,
         },
     ));
 
@@ -498,6 +501,7 @@ fn shutdown_under_load_answers_every_request() {
             max_block: 8,
             workers: 2,
             max_queue: 0,
+            obs: None,
         },
     );
     let handles: Vec<_> = (0..data.queries.len())
@@ -519,4 +523,147 @@ fn shutdown_under_load_answers_every_request() {
     }
     let stats = server.stats();
     assert_eq!(stats.completed, data.queries.len() as u64);
+}
+
+/// A server wired to a **private** obs sink isolates its telemetry from
+/// the process-wide one: counters and traces reflect exactly the traffic
+/// this server saw, deterministically under the manual clock.
+#[test]
+fn private_obs_sink_collects_metrics_and_traces_deterministically() {
+    use parlayann_suite::obs::{Obs, ObsMode};
+    use parlayann_suite::serve::ManualClock;
+
+    let data = bigann_like(400, 10, 77);
+    let params = QueryParams {
+        k: 5,
+        beam: 16,
+        ..QueryParams::default()
+    };
+    let index = Arc::new(VamanaIndex::build(
+        data.points.clone(),
+        data.metric,
+        &VamanaParams::default(),
+    ));
+    let obs = Arc::new(Obs::new(ObsMode::On));
+    let clock = Arc::new(ManualClock::new());
+    let server = Server::manual(
+        index,
+        ServerConfig {
+            params,
+            max_block: 8,
+            workers: 1,
+            max_queue: 0,
+            obs: Some(Arc::clone(&obs)),
+        },
+        Arc::clone(&clock),
+    );
+    let handles: Vec<_> = (0..3)
+        .map(|q| {
+            server
+                .submit(data.queries.point(q), 5, Duration::from_micros(100))
+                .unwrap()
+        })
+        .collect();
+    clock.advance(Duration::from_micros(100));
+    assert_eq!(server.pump(), 1);
+    for h in handles {
+        assert!(h.try_take().is_some());
+    }
+
+    let text = server.metrics_text();
+    assert!(text.contains("parlayann_serve_requests_total 3"), "{text}");
+    assert!(text.contains("parlayann_serve_completed_total 3"), "{text}");
+    assert!(
+        text.contains("parlayann_serve_batches_total{trigger=\"deadline\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("parlayann_serve_request_ns_count 3"),
+        "{text}"
+    );
+    assert!(
+        text.contains("parlayann_serve_queue_wait_ns_count 3"),
+        "{text}"
+    );
+    assert!(text.contains("parlayann_serve_batch_size_sum 3"), "{text}");
+    assert!(text.contains("parlayann_serve_inflight 0"), "{text}");
+
+    // Traces: one per request, batch-scoped fields shared, and the queue
+    // wait is an exact function of the manual clock (100µs for all three
+    // — submitted at t=0, dispatched at t=100µs).
+    let traces = server.recent_traces();
+    assert_eq!(traces.len(), 3);
+    for t in &traces {
+        assert_eq!(t.batch_size, 3);
+        assert_eq!(t.reason, 1, "deadline trigger");
+        assert_eq!(t.queue_ns, 100_000);
+        assert_eq!(t.generation, 0);
+        assert!(t.dist_comps > 0, "engine stats flow into traces");
+    }
+    // Sequence numbers are unique and dense on a private sink.
+    let mut seqs: Vec<u64> = traces.iter().map(|t| t.seq).collect();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![0, 1, 2]);
+}
+
+/// With the process-wide sink enabled, one server's exposition spans all
+/// three instrumented layers: serve histograms, store per-shard
+/// latencies, and engine work counters.
+#[test]
+fn global_exposition_spans_serve_store_and_engine() {
+    use parlayann_suite::store::{Partitioner, ShardedIndex};
+
+    if !parlayann_suite::obs::global().enabled() {
+        return; // PARLAYANN_OBS=off: nothing registers, by design
+    }
+    let data = bigann_like(600, 20, 99);
+    let params = QueryParams {
+        k: 5,
+        beam: 16,
+        ..QueryParams::default()
+    };
+    let metric = data.metric;
+    let vparams = VamanaParams::default();
+    let store = ShardedIndex::build_with(&data.points, Partitioner::hash(2, 5), |_, ps| {
+        Arc::new(VamanaIndex::build(ps, metric, &vparams)) as Arc<dyn AnnIndex<u8> + Send + Sync>
+    });
+    let mut server = Server::start(
+        Arc::new(store),
+        ServerConfig {
+            params,
+            max_block: 8,
+            workers: 1,
+            max_queue: 0,
+            obs: None, // the global sink
+        },
+    );
+    let handles: Vec<_> = (0..data.queries.len())
+        .map(|q| {
+            server
+                .submit(data.queries.point(q), 5, Duration::from_micros(200))
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        h.wait();
+    }
+    server.shutdown();
+
+    let text = server.metrics_text();
+    for family in [
+        "parlayann_serve_request_ns",      // serve: submit→reply latency
+        "parlayann_serve_queue_wait_ns",   // serve: coalescer wait
+        "parlayann_serve_batch_size",      // serve: coalescing shape
+        "parlayann_store_shard_search_ns", // store: per-shard latency
+        "parlayann_store_merge_ns",        // store: k-way merge
+        "parlayann_engine_dist_comps",     // engine: work per query
+        "parlayann_engine_hops",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} histogram")),
+            "missing histogram family {family}"
+        );
+    }
+    assert!(text.contains("parlayann_store_probes_total"));
+    assert!(!server.recent_traces().is_empty());
 }
